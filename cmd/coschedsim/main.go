@@ -1,0 +1,165 @@
+// Command coschedsim runs one simulated execution of a co-scheduled pack
+// under failures and prints the outcome: makespan, event counters and,
+// optionally, the full event timeline or a JSONL trace.
+//
+// Example:
+//
+//	coschedsim -n 100 -p 1000 -mtbf 100 -policy ig-el -seed 42 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/rng"
+	"cosched/internal/trace"
+	"cosched/internal/workload"
+)
+
+var policies = map[string]core.Policy{
+	"norc":   core.NoRedistribution,
+	"ig-eg":  core.IGEndGreedy,
+	"ig-el":  core.IGEndLocal,
+	"stf-eg": core.STFEndGreedy,
+	"stf-el": core.STFEndLocal,
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 100, "number of tasks in the pack")
+		p         = flag.Int("p", 1000, "number of processors (even, ≥ 2n)")
+		mInf      = flag.Float64("minf", 1.5e6, "minimum problem size m_inf")
+		mSup      = flag.Float64("msup", 2.5e6, "maximum problem size m_sup")
+		seqFrac   = flag.Float64("f", 0.08, "sequential fraction of Eq. (10)")
+		ckptUnit  = flag.Float64("c", 1, "checkpoint cost per data unit (C_i = c·m_i)")
+		mtbf      = flag.Float64("mtbf", 100, "per-processor MTBF in years (0 = fault-free)")
+		downtime  = flag.Float64("downtime", 60, "downtime D in seconds")
+		policy    = flag.String("policy", "ig-el", "policy: norc | ig-eg | ig-el | stf-eg | stf-el")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		faultFile = flag.String("faults", "", "replay a JSONL fault trace instead of generating faults")
+		semantics = flag.String("semantics", "expected", "end-event semantics: expected | deterministic")
+		verbose   = flag.Bool("verbose", false, "print the full event timeline")
+		traceOut  = flag.String("trace", "", "write the JSONL event trace to this file")
+		breakdown = flag.Bool("breakdown", false, "print the waste-breakdown decomposition")
+	)
+	flag.Parse()
+
+	pol, ok := policies[strings.ToLower(*policy)]
+	if !ok {
+		fatalf("unknown policy %q (want norc, ig-eg, ig-el, stf-eg or stf-el)", *policy)
+	}
+	spec := workload.Spec{
+		N: *n, P: *p,
+		MInf: *mInf, MSup: *mSup,
+		SeqFraction: *seqFrac, CkptUnit: *ckptUnit,
+		MTBFYears: *mtbf, Downtime: *downtime,
+	}
+	if err := spec.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	src := rng.New(*seed)
+	tasks, err := spec.Generate(src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	in := core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience()}
+
+	var faults failure.Source
+	switch {
+	case *faultFile != "":
+		f, err := os.Open(*faultFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		recorded, err := failure.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		faults, err = failure.NewTrace(recorded)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case spec.Lambda() > 0:
+		faults, err = failure.NewRenewal(spec.P, failure.Exponential{Lambda: spec.Lambda()}, src.Split())
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	opt := core.Options{}
+	switch strings.ToLower(*semantics) {
+	case "expected":
+	case "deterministic":
+		opt.Semantics = core.SemanticsDeterministic
+	default:
+		fatalf("unknown semantics %q", *semantics)
+	}
+	var log trace.Log
+	if *verbose || *traceOut != "" {
+		opt.OnTrace = log.Hook()
+	}
+	opt.Accounting = *breakdown
+
+	res, err := core.Run(in, pol, faults, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("policy             %s\n", pol)
+	fmt.Printf("pack               n=%d tasks on p=%d processors\n", spec.N, spec.P)
+	fmt.Printf("MTBF/processor     %.3g years\n", spec.MTBFYears)
+	fmt.Printf("makespan           %.2f s (%.2f days)\n", res.Makespan, res.Makespan/86400)
+	c := res.Counters
+	fmt.Printf("failures           %d handled, %d suppressed, %d on idle processors\n",
+		c.Failures, c.SuppressedFault, c.IdleFault)
+	fmt.Printf("redistributions    %d (total cost %.2f s)\n", c.Redistributions, c.RedistTime)
+	fmt.Printf("events             %d (%d task ends, %d finalized early)\n",
+		c.Events, c.TaskEnds, c.EarlyFinalized)
+
+	if *breakdown && res.Breakdown != nil {
+		b := res.Breakdown
+		total := b.TotalTaskSeconds()
+		fmt.Println("\nwaste breakdown (task-seconds):")
+		row := func(label string, v float64) {
+			fmt.Printf("  %-22s %14.0f  (%5.2f%%)\n", label, v, 100*v/total)
+		}
+		row("useful work", b.Work)
+		row("checkpoints", b.Checkpoint)
+		row("lost to rollbacks", b.Lost)
+		row("downtime+recovery", b.DownRec)
+		row("redistribution", b.Redist)
+		row("expectation inflation", b.Inflation)
+		fmt.Printf("  %-22s %14.0f\n", "total", total)
+		fmt.Printf("platform occupancy: %.1f%% busy (%.3g of %.3g proc-seconds)\n",
+			100*b.BusyProcSeconds/(b.BusyProcSeconds+b.IdleProcSeconds),
+			b.BusyProcSeconds, b.BusyProcSeconds+b.IdleProcSeconds)
+	}
+
+	if *verbose {
+		fmt.Println("\ntimeline:")
+		fmt.Print(log.Timeline())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := log.Write(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\ntrace written to %s (%d events)\n", *traceOut, len(log.Events))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "coschedsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command faultgen generates and inspects fault traces — the stand-in
+// for the fault simulator of Bougeret et al. [20] / Bosilca et al. [21]
+// that the paper's evaluation uses. Traces are JSON Lines, one fault per
+// line, replayable by coschedsim -faults.
+//
+// Examples:
+//
+//	faultgen -p 1000 -mtbf 100 -horizon-days 200 -o faults.jsonl
+//	faultgen -inspect faults.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cosched/internal/failure"
+	"cosched/internal/rng"
+	"cosched/internal/stats"
+	"cosched/internal/workload"
+)
+
+func main() {
+	var (
+		p           = flag.Int("p", 1000, "number of processors")
+		mtbf        = flag.Float64("mtbf", 100, "per-processor MTBF in years")
+		law         = flag.String("law", "exp", "inter-arrival law: exp | weibull")
+		shape       = flag.Float64("shape", 0.7, "Weibull shape parameter")
+		count       = flag.Int("count", 1000000, "maximum number of faults")
+		horizonDays = flag.Float64("horizon-days", 365, "stop generating past this horizon")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		out         = flag.String("o", "", "output file (default stdout)")
+		inspect     = flag.String("inspect", "", "inspect an existing trace instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	lambda := 1 / (*mtbf * workload.YearSeconds)
+	var lawImpl failure.Law
+	switch *law {
+	case "exp":
+		lawImpl = failure.Exponential{Lambda: lambda}
+	case "weibull":
+		// Match the long-run rate of the exponential law: scale so that
+		// mean gap = MTBF.
+		mean := *mtbf * workload.YearSeconds
+		lawImpl = failure.Weibull{Shape: *shape, Scale: mean / gamma1p(1 / *shape)}
+	default:
+		fatalf("unknown law %q", *law)
+	}
+	src, err := failure.NewRenewal(*p, lawImpl, rng.New(*seed))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	faults := failure.Collect(src, *count, *horizonDays*86400)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := failure.WriteTrace(w, faults); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "faultgen: %d faults over %.1f days on %d processors (law %s)\n",
+		len(faults), *horizonDays, *p, *law)
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	faults, err := failure.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(faults) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	var gaps stats.Accumulator
+	procs := map[int]int{}
+	prev := 0.0
+	for _, fl := range faults {
+		gaps.Add(fl.Time - prev)
+		prev = fl.Time
+		procs[fl.Proc]++
+	}
+	fmt.Printf("faults          %d\n", len(faults))
+	fmt.Printf("span            %.1f days\n", faults[len(faults)-1].Time/86400)
+	fmt.Printf("processors hit  %d distinct\n", len(procs))
+	fmt.Printf("platform MTBF   %.2f hours (mean gap)\n", gaps.Mean()/3600)
+	fmt.Printf("gap stddev      %.2f hours\n", gaps.StdDev()/3600)
+	return nil
+}
+
+// gamma1p computes Γ(1+x) via the standard library.
+func gamma1p(x float64) float64 {
+	return math.Gamma(1 + x)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Package cosched is a Go reproduction of "Resilient application
+// co-scheduling with processor redistribution" (Benoit, Pottier, Robert;
+// Inria RR-8795 / ICPP 2016).
+//
+// The library schedules a pack of malleable HPC applications on a
+// failure-prone platform: tasks are protected by double (buddy)
+// checkpointing with Young's period, and processors are redistributed
+// between applications when one terminates or when a fail-stop failure
+// delays the critical task.
+//
+// Layout:
+//
+//   - internal/core        — the paper's Algorithms 1–5 and the
+//     event-driven simulation engine
+//   - internal/model       — execution-time and resilience formulas
+//     (Eq. 1–10)
+//   - internal/failure     — fault simulator (exponential/Weibull
+//     renewal processes, trace record/replay)
+//   - internal/checkpoint  — double-checkpointing substrate
+//   - internal/platform    — processor-pair allocator
+//   - internal/redistrib   — bipartite transfer-round scheduler (König)
+//   - internal/npc         — Theorem 2 reduction from 3-Partition
+//   - internal/experiments — reproduction of Figures 5–14
+//   - cmd/...              — coschedsim, experiments, faultgen, npcheck
+//   - examples/...         — runnable walkthroughs
+//
+// See README.md for a tour, DESIGN.md for the architecture and the
+// paper-faithfulness decisions, and EXPERIMENTS.md for measured results
+// versus the paper's figures. The benchmarks in bench_test.go regenerate
+// every figure of the evaluation at a reduced scale.
+package cosched

@@ -1,0 +1,74 @@
+// Faulttrace: record a fault trace, replay it against two failure
+// policies, and dump the resulting event timelines side by side. Shows
+// the trace/observability surface of the library: JSONL traces, the
+// timeline renderer and per-task allocation step functions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/model"
+	"cosched/internal/plot"
+	"cosched/internal/rng"
+	"cosched/internal/trace"
+)
+
+func main() {
+	// A small pack with one dominant application, so redistribution
+	// decisions are easy to read in the timeline.
+	tasks := []model.Task{
+		{ID: 0, Data: 1e5, Ckpt: 100, Profile: model.Synthetic{M: 1e5, SeqFraction: 0.08}},
+		{ID: 1, Data: 3e4, Ckpt: 30, Profile: model.Synthetic{M: 3e4, SeqFraction: 0.08}},
+		{ID: 2, Data: 2e4, Ckpt: 20, Profile: model.Synthetic{M: 2e4, SeqFraction: 0.08}},
+	}
+	in := core.Instance{Tasks: tasks, P: 40, Res: model.Resilience{Lambda: 2e-7, Downtime: 60}}
+
+	gen, err := failure.NewRenewal(in.P, failure.Exponential{Lambda: in.Res.Lambda}, rng.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := failure.Collect(gen, 64, 0)
+	fmt.Printf("recorded %d faults; first strikes at t=%.0f s\n\n", len(faults), faults[0].Time)
+
+	sigma, err := core.InitialSchedule(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, pol := range []core.Policy{core.NoRedistribution, core.STFEndLocal} {
+		replay, err := failure.NewTrace(faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var lg trace.Log
+		res, err := core.Run(in, pol, replay, core.Options{OnTrace: lg.Hook()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s: makespan %.0f s, %d redistributions ===\n",
+			pol, res.Makespan, res.Counters.Redistributions)
+		fmt.Print(lg.Timeline())
+		fmt.Println("allocation history:")
+		steps := lg.AllocationTimeline(sigma)
+		rows := make([]plot.GanttRow, len(tasks))
+		for taskID := 0; taskID < len(tasks); taskID++ {
+			fmt.Printf("  task %d:", taskID)
+			rows[taskID].Label = fmt.Sprintf("task %d", taskID)
+			for _, s := range steps[taskID] {
+				fmt.Printf("  t=%.0f→%d", s.Time, s.Procs)
+				rows[taskID].Times = append(rows[taskID].Times, s.Time)
+				rows[taskID].Procs = append(rows[taskID].Procs, s.Procs)
+			}
+			fmt.Println()
+		}
+		name := fmt.Sprintf("gantt-%s.svg", pol)
+		if err := os.WriteFile(name, []byte(plot.GanttSVG(rows, 800, 34)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("allocation chart written to %s\n\n", name)
+	}
+}

@@ -1,0 +1,95 @@
+package checkpoint
+
+import "fmt"
+
+// PairState describes the health of one buddy pair.
+type PairState int
+
+const (
+	// PairHealthy means both checkpoints (own + buddy's) are in memory.
+	PairHealthy PairState = iota
+	// PairRecovering means one processor of the pair failed and the
+	// buddy is re-sending both checkpoint files; a second failure on the
+	// pair during this window is fatal (§2.2).
+	PairRecovering
+)
+
+// BuddyManager tracks the state of the double-checkpointing protocol over
+// processor pairs: pair k = processors (2k, 2k+1), buddy(q) = q XOR 1.
+// Each processor stores two checkpoint files — its own and its buddy's —
+// so the in-memory footprint per processor is twice the per-processor
+// checkpoint size (2·C_i/j of task data).
+//
+// The paper's simulation assumes failures cannot strike during recovery
+// (§6.1), so fatal double failures never materialize there; the manager
+// still detects them so that the deterministic-semantics engine and the
+// tests can count near misses.
+type BuddyManager struct {
+	p     int
+	state []PairState
+	until []float64 // recovery end time per pair, meaningful when recovering
+	fatal int
+}
+
+// NewBuddyManager creates a manager for p processors (p even, positive).
+func NewBuddyManager(p int) (*BuddyManager, error) {
+	if p <= 0 || p%2 != 0 {
+		return nil, fmt.Errorf("checkpoint: processor count %d must be positive and even", p)
+	}
+	return &BuddyManager{
+		p:     p,
+		state: make([]PairState, p/2),
+		until: make([]float64, p/2),
+	}, nil
+}
+
+// Buddy returns the buddy processor of q.
+func Buddy(q int) int { return q ^ 1 }
+
+// State returns the state of the pair owning processor q at time t,
+// advancing Recovering → Healthy when the recovery window has elapsed.
+func (b *BuddyManager) State(q int, t float64) PairState {
+	k := b.pair(q)
+	if b.state[k] == PairRecovering && t >= b.until[k] {
+		b.state[k] = PairHealthy
+	}
+	return b.state[k]
+}
+
+// Strike records a failure on processor q at time t with the given
+// recovery duration (downtime + buddy re-send). It returns true when the
+// failure is fatal: the pair was already recovering, so both copies of a
+// checkpoint are lost.
+func (b *BuddyManager) Strike(q int, t, recovery float64) (fatal bool) {
+	k := b.pair(q)
+	if b.State(q, t) == PairRecovering {
+		b.fatal++
+		// The pair restarts recovery from scratch; from the protocol's
+		// point of view the data is gone, but we keep bookkeeping sane.
+		b.until[k] = t + recovery
+		return true
+	}
+	b.state[k] = PairRecovering
+	b.until[k] = t + recovery
+	return false
+}
+
+// FatalCount returns the number of fatal double failures observed.
+func (b *BuddyManager) FatalCount() int { return b.fatal }
+
+// MemoryPerProc returns the checkpoint memory footprint of one processor
+// of a task with sequential checkpoint size c running on j processors:
+// two files (own + buddy) of c/j each.
+func MemoryPerProc(c float64, j int) float64 {
+	if j <= 0 {
+		panic(fmt.Sprintf("checkpoint: MemoryPerProc with j=%d", j))
+	}
+	return 2 * c / float64(j)
+}
+
+func (b *BuddyManager) pair(q int) int {
+	if q < 0 || q >= b.p {
+		panic(fmt.Sprintf("checkpoint: processor %d out of range [0,%d)", q, b.p))
+	}
+	return q / 2
+}

@@ -1,0 +1,187 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/rng"
+)
+
+func TestSegmentValid(t *testing.T) {
+	good := Segment{Start: 0, Period: 10, Ckpt: 1}
+	if err := good.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	ff := Segment{Start: 5, Period: math.Inf(1), Ckpt: 1}
+	if err := ff.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Segment{
+		{Start: math.NaN(), Period: 10, Ckpt: 1},
+		{Start: math.Inf(1), Period: 10, Ckpt: 1},
+		{Start: 0, Period: 10, Ckpt: -1},
+		{Start: 0, Period: 1, Ckpt: 2},
+		{Start: 0, Period: 1, Ckpt: 1},
+	}
+	for i, s := range bad {
+		if s.Valid() == nil {
+			t.Fatalf("bad segment %d accepted", i)
+		}
+	}
+}
+
+func TestCheckpointsBy(t *testing.T) {
+	s := Segment{Start: 100, Period: 10, Ckpt: 2}
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0, 0}, {100, 0}, {105, 0}, {110, 1}, {119.9, 1}, {120, 2}, {155, 5},
+	}
+	for _, c := range cases {
+		if got := s.CheckpointsBy(c.t); got != c.want {
+			t.Fatalf("CheckpointsBy(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestCommittedAndUsefulWork(t *testing.T) {
+	s := Segment{Start: 0, Period: 10, Ckpt: 2}
+	// At t=25: two full periods (16 work), plus 5 in-flight.
+	if got := s.CommittedWork(25); got != 16 {
+		t.Fatalf("CommittedWork = %v, want 16", got)
+	}
+	if got := s.UsefulWork(25); got != 21 {
+		t.Fatalf("UsefulWork = %v, want 21", got)
+	}
+	if got := s.LostWork(25); got != 5 {
+		t.Fatalf("LostWork = %v, want 5", got)
+	}
+	if s.UsefulWork(-5) != 0 {
+		t.Fatal("UsefulWork before start must be 0")
+	}
+}
+
+func TestLastCheckpointTime(t *testing.T) {
+	s := Segment{Start: 50, Period: 10, Ckpt: 1}
+	if got := s.LastCheckpointTime(55); got != 50 {
+		t.Fatalf("no checkpoint yet: got %v, want 50", got)
+	}
+	if got := s.LastCheckpointTime(75); got != 70 {
+		t.Fatalf("LastCheckpointTime(75) = %v, want 70", got)
+	}
+}
+
+func TestFaultFreeSegment(t *testing.T) {
+	s := Segment{Start: 0, Period: math.Inf(1), Ckpt: 0}
+	if s.CheckpointsBy(1e12) != 0 || s.CommittedWork(1e12) != 0 {
+		t.Fatal("fault-free segment must never checkpoint")
+	}
+	if got := s.UsefulWork(123); got != 123 {
+		t.Fatalf("fault-free useful work = %v, want 123", got)
+	}
+}
+
+// TestClosedFormMatchesStepSimulator is the cross-validation the engine
+// relies on: Eq. (8) arithmetic must equal explicit period-walking.
+func TestClosedFormMatchesStepSimulator(t *testing.T) {
+	src := rng.New(99)
+	err := quick.Check(func(seed uint64) bool {
+		src.Reseed(seed)
+		seg := Segment{
+			Start:  src.Uniform(0, 1e6),
+			Period: src.Uniform(1, 1e5),
+			Ckpt:   0,
+		}
+		seg.Ckpt = src.Uniform(0, seg.Period*0.9)
+		horizon := seg.Start + src.Uniform(0, 50)*seg.Period
+		ss := NewStepSimulator(seg)
+		n, committed := ss.Walk(horizon)
+		if n != seg.CheckpointsBy(horizon) {
+			return false
+		}
+		return math.Abs(committed-seg.CommittedWork(horizon)) < 1e-6*(committed+1)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyManagerBasics(t *testing.T) {
+	b, err := NewBuddyManager(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.State(3, 0) != PairHealthy {
+		t.Fatal("fresh pair should be healthy")
+	}
+	if fatal := b.Strike(3, 10, 5); fatal {
+		t.Fatal("first strike must not be fatal")
+	}
+	if b.State(3, 12) != PairRecovering {
+		t.Fatal("pair should be recovering")
+	}
+	// Buddy (processor 2) shares the pair state.
+	if b.State(2, 12) != PairRecovering {
+		t.Fatal("buddy processor must share recovery state")
+	}
+	// Second strike on the pair during recovery is fatal.
+	if fatal := b.Strike(2, 13, 5); !fatal {
+		t.Fatal("strike during recovery must be fatal")
+	}
+	if b.FatalCount() != 1 {
+		t.Fatalf("fatal count = %d, want 1", b.FatalCount())
+	}
+	// After the window, the pair heals.
+	if b.State(3, 100) != PairHealthy {
+		t.Fatal("pair should heal after recovery window")
+	}
+	if fatal := b.Strike(3, 101, 5); fatal {
+		t.Fatal("post-recovery strike must not be fatal")
+	}
+}
+
+func TestBuddyManagerValidation(t *testing.T) {
+	if _, err := NewBuddyManager(7); err == nil {
+		t.Fatal("odd processor count accepted")
+	}
+	if _, err := NewBuddyManager(0); err == nil {
+		t.Fatal("zero processor count accepted")
+	}
+	b, _ := NewBuddyManager(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range processor did not panic")
+		}
+	}()
+	b.State(4, 0)
+}
+
+func TestBuddyIsPlatformConsistent(t *testing.T) {
+	for q := 0; q < 64; q++ {
+		if Buddy(q)/2 != q/2 || Buddy(Buddy(q)) != q {
+			t.Fatalf("buddy mapping broken at %d", q)
+		}
+	}
+}
+
+func TestMemoryPerProc(t *testing.T) {
+	// Two checkpoint files of C/j each.
+	if got := MemoryPerProc(1000, 4); got != 500 {
+		t.Fatalf("MemoryPerProc = %v, want 500", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MemoryPerProc(., 0) did not panic")
+		}
+	}()
+	MemoryPerProc(10, 0)
+}
+
+func BenchmarkCheckpointsBy(b *testing.B) {
+	s := Segment{Start: 0, Period: 3600, Ckpt: 60}
+	for i := 0; i < b.N; i++ {
+		_ = s.CheckpointsBy(float64(i % 1000000))
+	}
+}

@@ -1,0 +1,122 @@
+// Package checkpoint implements the double-checkpointing substrate of the
+// paper (§2.2, §3.1): periodic checkpoints with Young's period, buddy
+// pairing of processors, and the segment arithmetic (Eq. 8) that the
+// scheduling engine uses to account for completed and lost work.
+//
+// The engine never simulates individual checkpoints as events — it uses
+// the closed-form arithmetic of Segment. The StepSimulator in this
+// package re-derives the same quantities by walking period by period and
+// is used in tests to cross-validate the closed forms.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment describes one checkpointed execution stretch of a task: it
+// starts computing at Start (the paper's tlastR_i, i.e. right after the
+// last redistribution, recovery, or initial placement), takes a
+// checkpoint of length Ckpt every Period (the period includes the
+// checkpoint: work Period−Ckpt, then checkpoint Ckpt).
+type Segment struct {
+	Start  float64 // tlastR: when the segment starts computing
+	Period float64 // τ_{i,j}; +Inf disables checkpointing (fault-free mode)
+	Ckpt   float64 // C_{i,j}
+}
+
+// Valid reports whether the segment parameters are admissible.
+func (s Segment) Valid() error {
+	if math.IsNaN(s.Start) || math.IsInf(s.Start, 0) {
+		return fmt.Errorf("checkpoint: non-finite start %v", s.Start)
+	}
+	if s.Ckpt < 0 {
+		return fmt.Errorf("checkpoint: negative checkpoint cost %v", s.Ckpt)
+	}
+	if math.IsInf(s.Period, 1) {
+		return nil // fault-free: no checkpoints ever
+	}
+	if s.Period <= s.Ckpt {
+		return fmt.Errorf("checkpoint: period %v must exceed checkpoint cost %v", s.Period, s.Ckpt)
+	}
+	return nil
+}
+
+// CheckpointsBy returns N = ⌊(t − Start)/Period⌋ (Eq. 8): the number of
+// checkpoints completed by wall-clock time t. Times before Start yield 0.
+func (s Segment) CheckpointsBy(t float64) int {
+	if t <= s.Start || math.IsInf(s.Period, 1) {
+		return 0
+	}
+	return int(math.Floor((t - s.Start) / s.Period))
+}
+
+// CommittedWork returns the work (in time units on the current allocation)
+// that survives a failure at time t: N·(Period−Ckpt), i.e. only whole
+// periods sealed by a checkpoint.
+func (s Segment) CommittedWork(t float64) float64 {
+	n := s.CheckpointsBy(t)
+	if n == 0 {
+		return 0 // also avoids 0·Inf = NaN for fault-free segments
+	}
+	return float64(n) * (s.Period - s.Ckpt)
+}
+
+// UsefulWork returns the work performed by time t including the current
+// unsealed period: t − Start − N·Ckpt. This is the progress credited to a
+// task that is *not* hit by the failure (§3.3.2 "application ending
+// case"). The result is clamped at 0 for t ≤ Start.
+func (s Segment) UsefulWork(t float64) float64 {
+	if t <= s.Start {
+		return 0
+	}
+	w := t - s.Start - float64(s.CheckpointsBy(t))*s.Ckpt
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// LastCheckpointTime returns the wall-clock completion time of the most
+// recent checkpoint by t, or Start when none has completed yet.
+func (s Segment) LastCheckpointTime(t float64) float64 {
+	n := s.CheckpointsBy(t)
+	if n == 0 {
+		return s.Start
+	}
+	return s.Start + float64(n)*s.Period
+}
+
+// LostWork returns the work destroyed by a failure at time t: everything
+// since the last sealed checkpoint, excluding checkpoint overhead.
+func (s Segment) LostWork(t float64) float64 {
+	return s.UsefulWork(t) - s.CommittedWork(t)
+}
+
+// StepSimulator re-derives the segment quantities by explicit iteration
+// over periods. It exists to cross-validate Segment's closed forms in
+// tests (and intentionally has no clever arithmetic).
+type StepSimulator struct {
+	seg Segment
+}
+
+// NewStepSimulator wraps a segment.
+func NewStepSimulator(seg Segment) *StepSimulator { return &StepSimulator{seg: seg} }
+
+// Walk simulates execution until wall-clock time t and returns the number
+// of completed checkpoints and the committed (checkpoint-sealed) work.
+func (ss *StepSimulator) Walk(t float64) (checkpoints int, committed float64) {
+	if math.IsInf(ss.seg.Period, 1) {
+		return 0, 0
+	}
+	clock := ss.seg.Start
+	for {
+		endOfPeriod := clock + ss.seg.Period
+		if endOfPeriod > t {
+			return checkpoints, committed
+		}
+		checkpoints++
+		committed += ss.seg.Period - ss.seg.Ckpt
+		clock = endOfPeriod
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import "math"
+
+// Breakdown decomposes where the simulated time went, the waste analysis
+// customary in the checkpointing literature (cf. Hérault & Robert,
+// "Fault-Tolerance Techniques for HPC", the paper's ref [16]).
+//
+// Per-task components (seconds, summed over tasks):
+//
+//	Work       — useful, checkpoint-committed or finished computation
+//	Checkpoint — periodic checkpoints (N·C per segment) plus the
+//	             post-redistribution checkpoints of §3.3.2
+//	Lost       — work destroyed by rollbacks (progress past the last
+//	             checkpoint when a failure strikes)
+//	DownRec    — downtime + recovery after failures (D + R)
+//	Redist     — redistribution transfer time (RC of Eq. 9)
+//	Inflation  — residual between realized finish times and the accrued
+//	             components; under SemanticsExpected this is the expected
+//	             future-failure inflation baked into t^R, under
+//	             SemanticsDeterministic it is ~0 (see the invariant test)
+//
+// Platform-level occupancy:
+//
+//	BusyProcSeconds — ∫ Σ_i σ_i(t) dt
+//	IdleProcSeconds — P·makespan − BusyProcSeconds
+type Breakdown struct {
+	Work       float64
+	Checkpoint float64
+	Lost       float64
+	DownRec    float64
+	Redist     float64
+	Inflation  float64
+
+	BusyProcSeconds float64
+	IdleProcSeconds float64
+}
+
+// TotalTaskSeconds returns the sum of all per-task components.
+func (b Breakdown) TotalTaskSeconds() float64 {
+	return b.Work + b.Checkpoint + b.Lost + b.DownRec + b.Redist + b.Inflation
+}
+
+// accounting is the engine-side accumulator (enabled by
+// Options.Accounting).
+type accounting struct {
+	b        Breakdown
+	lastT    []float64 // per task: last allocation-change time
+	lastSig  []int     // per task: allocation since lastT
+	finishes float64   // Σ finish_i, to derive Inflation at the end
+}
+
+func newAccounting(n int, sigma []int) *accounting {
+	a := &accounting{lastT: make([]float64, n), lastSig: make([]int, n)}
+	copy(a.lastSig, sigma)
+	return a
+}
+
+// segmentClose accrues the committed work and checkpoint overhead of a
+// closed execution segment of task i: elapsed wall time since tlastR,
+// with N completed checkpoints, running on j processors.
+func (a *accounting) segmentClose(elapsed float64, n int, ckptCost float64, committedWork float64) {
+	if a == nil {
+		return
+	}
+	a.b.Work += committedWork
+	a.b.Checkpoint += float64(n) * ckptCost
+	_ = elapsed
+}
+
+// failure accrues the rollback loss and the downtime + recovery.
+func (a *accounting) failure(lost, downRec float64) {
+	if a == nil {
+		return
+	}
+	if lost > 0 {
+		a.b.Lost += lost
+	}
+	a.b.DownRec += downRec
+}
+
+// redistribution accrues the transfer cost and the §3.3.2 checkpoint.
+func (a *accounting) redistribution(rc, postCkpt float64) {
+	if a == nil {
+		return
+	}
+	a.b.Redist += rc
+	a.b.Checkpoint += postCkpt
+}
+
+// allocChange integrates busy processor-seconds for task i up to time t,
+// then records the new allocation (0 = finished).
+func (a *accounting) allocChange(i int, t float64, newSigma int) {
+	if a == nil {
+		return
+	}
+	if dt := t - a.lastT[i]; dt > 0 {
+		a.b.BusyProcSeconds += dt * float64(a.lastSig[i])
+	}
+	a.lastT[i] = t
+	a.lastSig[i] = newSigma
+}
+
+// taskFinished records the completion time for the inflation residual.
+func (a *accounting) taskFinished(finish float64) {
+	if a == nil {
+		return
+	}
+	a.finishes += finish
+}
+
+// finalize computes the residual components once the run is over.
+func (a *accounting) finalize(p int, makespan float64) Breakdown {
+	if a == nil {
+		return Breakdown{}
+	}
+	b := a.b
+	infl := a.finishes - (b.Work + b.Checkpoint + b.Lost + b.DownRec + b.Redist)
+	if infl < 0 && infl > -1e-6*math.Max(1, a.finishes) {
+		infl = 0 // float slop on exactly-balanced deterministic runs
+	}
+	b.Inflation = infl
+	b.IdleProcSeconds = float64(p)*makespan - b.BusyProcSeconds
+	if b.IdleProcSeconds < 0 && b.IdleProcSeconds > -1e-6*b.BusyProcSeconds {
+		b.IdleProcSeconds = 0
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/failure"
+	"cosched/internal/model"
+	"cosched/internal/rng"
+)
+
+func TestBreakdownFaultFreeNoRC(t *testing.T) {
+	in := Instance{Tasks: synthPack(5, rng.New(2)), P: 20, Res: model.Resilience{}}
+	r := mustRun(t, in, NoRedistribution, nil, Options{Accounting: true})
+	b := r.Breakdown
+	if b == nil {
+		t.Fatal("accounting not returned")
+	}
+	if b.Checkpoint != 0 || b.Lost != 0 || b.DownRec != 0 || b.Redist != 0 {
+		t.Fatalf("fault-free NoRC run has overheads: %+v", *b)
+	}
+	// All task time is useful work: Σ t_{i,σ(i)}.
+	sigma, _ := InitialSchedule(in)
+	want := 0.0
+	for i, task := range in.Tasks {
+		want += task.Time(sigma[i])
+	}
+	if math.Abs(b.Work-want) > 1e-6*want {
+		t.Fatalf("work = %v, want %v", b.Work, want)
+	}
+	if math.Abs(b.Inflation) > 1e-6*want {
+		t.Fatalf("fault-free inflation should vanish, got %v", b.Inflation)
+	}
+	// Occupancy conservation.
+	total := float64(in.P) * r.Makespan
+	if math.Abs(b.BusyProcSeconds+b.IdleProcSeconds-total) > 1e-6*total {
+		t.Fatalf("proc-seconds do not add up: busy %v + idle %v != %v",
+			b.BusyProcSeconds, b.IdleProcSeconds, total)
+	}
+	if b.IdleProcSeconds <= 0 {
+		t.Fatal("a pack with different task lengths must leave idle time")
+	}
+}
+
+// TestBreakdownDeterministicExact: under the deterministic semantics the
+// decomposition ties out exactly: Σ finish_i = Work + Checkpoint + Lost
+// + DownRec + Redist (Inflation ≈ 0), even with failures and
+// redistributions.
+func TestBreakdownDeterministicExact(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		in := Instance{Tasks: synthPack(8, rng.New(seed)), P: 48, Res: paperRes(2)}
+		src, err := failure.NewRenewal(in.P, failure.Exponential{Lambda: in.Res.Lambda}, rng.New(seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := mustRun(t, in, IGEndLocal, src, Options{Accounting: true, Semantics: SemanticsDeterministic})
+		b := r.Breakdown
+		if r.Counters.Failures == 0 {
+			t.Fatalf("seed %d: want failures in this scenario", seed)
+		}
+		sumFinish := 0.0
+		for _, f := range r.Finish {
+			sumFinish += f
+		}
+		accrued := b.Work + b.Checkpoint + b.Lost + b.DownRec + b.Redist
+		if math.Abs(sumFinish-accrued)/sumFinish > 1e-6 {
+			t.Fatalf("seed %d: Σfinish %v != accrued %v (%+v)", seed, sumFinish, accrued, *b)
+		}
+		if math.Abs(b.Inflation)/sumFinish > 1e-6 {
+			t.Fatalf("seed %d: deterministic inflation should vanish, got %v", seed, b.Inflation)
+		}
+		if b.Lost <= 0 || b.DownRec <= 0 {
+			t.Fatalf("seed %d: failures must produce lost time and down/rec: %+v", seed, *b)
+		}
+	}
+}
+
+// TestBreakdownExpectedInflation: under the paper's expected-time
+// semantics the residual inflation is non-negative and the total
+// decomposition matches Σ finish_i by construction.
+func TestBreakdownExpectedInflation(t *testing.T) {
+	in := Instance{Tasks: synthPack(8, rng.New(4)), P: 48, Res: paperRes(5)}
+	src, _ := failure.NewRenewal(in.P, failure.Exponential{Lambda: in.Res.Lambda}, rng.New(9))
+	r := mustRun(t, in, STFEndLocal, src, Options{Accounting: true})
+	b := r.Breakdown
+	if b.Inflation < 0 {
+		t.Fatalf("expected-semantics inflation negative: %v", b.Inflation)
+	}
+	sumFinish := 0.0
+	for _, f := range r.Finish {
+		sumFinish += f
+	}
+	if math.Abs(b.TotalTaskSeconds()-sumFinish)/sumFinish > 1e-9 {
+		t.Fatalf("TotalTaskSeconds %v != Σfinish %v", b.TotalTaskSeconds(), sumFinish)
+	}
+	if b.Checkpoint <= 0 {
+		t.Fatal("checkpointing runs must accrue checkpoint time")
+	}
+}
+
+func TestBreakdownRedistAccrual(t *testing.T) {
+	// The hand-computed EndLocal scenario: RC = 2 exactly, fault-free.
+	short := model.Task{ID: 0, Data: 4, Ckpt: 4, Profile: model.Table{Times: []float64{20, 10, 10, 10}}}
+	long := model.Task{ID: 1, Data: 8, Ckpt: 8, Profile: model.Table{Times: []float64{200, 100, 100, 60}}}
+	in := Instance{Tasks: []model.Task{short, long}, P: 4, Res: model.Resilience{}}
+	r := mustRun(t, in, Policy{OnEnd: EndLocal}, nil, Options{Accounting: true})
+	b := r.Breakdown
+	if math.Abs(b.Redist-2) > 1e-9 {
+		t.Fatalf("redistribution time %v, want 2", b.Redist)
+	}
+	// Work: short 10, long 0.1·100 (first segment) + 0.9·60 (after) = 74.
+	if math.Abs(b.Work-(10+10+54)) > 1e-9 {
+		t.Fatalf("work %v, want 74", b.Work)
+	}
+	// Busy proc-seconds: short 2×10; long 2×10 + 4×56 = 244... plus
+	// conservation against idle.
+	total := float64(in.P) * r.Makespan
+	if math.Abs(b.BusyProcSeconds+b.IdleProcSeconds-total) > 1e-9 {
+		t.Fatal("occupancy conservation broken")
+	}
+	wantBusy := 2.0*10 + 2.0*10 + 4.0*56
+	if math.Abs(b.BusyProcSeconds-wantBusy) > 1e-9 {
+		t.Fatalf("busy proc-seconds %v, want %v", b.BusyProcSeconds, wantBusy)
+	}
+}
+
+func TestBreakdownDisabledByDefault(t *testing.T) {
+	in := Instance{Tasks: synthPack(3, rng.New(1)), P: 12, Res: model.Resilience{}}
+	r := mustRun(t, in, NoRedistribution, nil, Options{})
+	if r.Breakdown != nil {
+		t.Fatal("breakdown computed without the flag")
+	}
+}

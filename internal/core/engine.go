@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cosched/internal/failure"
+	"cosched/internal/model"
+	"cosched/internal/platform"
+	"cosched/internal/sim"
+	"cosched/internal/stats"
+)
+
+const defaultMaxEvents = 5_000_000
+
+// taskState is the per-task bookkeeping of Algorithm 2.
+type taskState struct {
+	sigma   int     // σ(i): current processor count (0 once finished)
+	alpha   float64 // α_i: remaining fraction of work at tlastR
+	tlastR  float64 // time the current segment starts computing
+	tU      float64 // expected finish time tU_i = tlastR + t^R_{i,σ}(α)
+	end     float64 // scheduled end-event time (tU or fault-free finish)
+	endVer  uint64  // end-event version for logical cancellation
+	done    bool
+	finish  float64 // realized completion time
+	lastSig int     // allocation held when the task completed
+}
+
+// engine drives one simulated execution (Algorithm 2).
+type engine struct {
+	in   Instance
+	pol  Policy
+	opt  Options
+	plat *platform.Platform
+	st   []taskState
+	q    sim.Queue
+	src  failure.Source
+	next failure.Fault
+	have bool
+	live int
+	ctr  Counters
+	hist []Snapshot
+	now  float64
+	acct *accounting
+}
+
+// Run simulates the execution of the pack under the given policy and
+// fault source, starting from the optimal no-redistribution schedule
+// (Algorithm 1) and iterating over failure and termination events
+// (Algorithm 2).
+func Run(in Instance, pol Policy, src failure.Source, opt Options) (Result, error) {
+	sigma, err := InitialSchedule(in)
+	if err != nil {
+		return Result{}, err
+	}
+	if src == nil {
+		src = failure.Null{}
+	}
+	plat, err := platform.New(in.P)
+	if err != nil {
+		return Result{}, err
+	}
+	e := &engine{in: in, pol: pol, opt: opt, plat: plat, src: src}
+	if e.opt.MaxEvents <= 0 {
+		e.opt.MaxEvents = defaultMaxEvents
+	}
+	n := len(in.Tasks)
+	e.st = make([]taskState, n)
+	e.live = n
+	if opt.Accounting {
+		e.acct = newAccounting(n, sigma)
+	}
+	for i := range e.st {
+		if _, err := plat.Alloc(i, sigma[i]); err != nil {
+			return Result{}, fmt.Errorf("core: initial allocation: %w", err)
+		}
+		s := &e.st[i]
+		s.sigma = sigma[i]
+		s.alpha = 1
+		s.tlastR = 0
+		s.tU = in.Res.ExpectedTime(in.Tasks[i], s.sigma, 1)
+		e.scheduleEnd(i)
+	}
+	e.pullFault()
+
+	for e.live > 0 {
+		if e.ctr.Events >= e.opt.MaxEvents {
+			return Result{}, fmt.Errorf("core: aborted after %d events (divergent configuration?)", e.ctr.Events)
+		}
+		ev, ok := e.peekValidEnd()
+		if !ok {
+			return Result{}, fmt.Errorf("core: no pending end event with %d live tasks", e.live)
+		}
+		if e.have && e.next.Time < ev.Time {
+			f := e.next
+			e.pullFault()
+			e.processFault(f)
+		} else {
+			e.q.Pop()
+			e.processEnd(ev.Task, ev.Time)
+		}
+		if e.opt.Paranoia {
+			if err := e.check(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	res := Result{
+		Makespan: 0,
+		Finish:   make([]float64, n),
+		Sigma:    make([]int, n),
+		Counters: e.ctr,
+		History:  e.hist,
+	}
+	for i := range e.st {
+		res.Finish[i] = e.st[i].finish
+		res.Sigma[i] = e.st[i].lastSig
+		if e.st[i].finish > res.Makespan {
+			res.Makespan = e.st[i].finish
+		}
+	}
+	if e.acct != nil {
+		bd := e.acct.finalize(in.P, res.Makespan)
+		res.Breakdown = &bd
+	}
+	return res, nil
+}
+
+// pullFault advances the fault stream.
+func (e *engine) pullFault() {
+	e.next, e.have = e.src.Next()
+}
+
+// peekValidEnd returns the earliest non-stale task-end event, discarding
+// stale ones.
+func (e *engine) peekValidEnd() (sim.Event, bool) {
+	for {
+		ev, ok := e.q.Peek()
+		if !ok {
+			return sim.Event{}, false
+		}
+		s := &e.st[ev.Task]
+		if !s.done && ev.Version == s.endVer {
+			return ev, true
+		}
+		e.q.Pop()
+	}
+}
+
+// scheduleEnd recomputes task i's end-event time from its current state
+// and pushes a fresh (versioned) event.
+func (e *engine) scheduleEnd(i int) {
+	s := &e.st[i]
+	switch e.opt.Semantics {
+	case SemanticsDeterministic:
+		s.end = s.tlastR + e.in.Res.FFTime(e.in.Tasks[i], s.sigma, s.alpha)
+	default:
+		s.end = s.tU
+	}
+	s.endVer++
+	e.q.Push(sim.Event{Time: s.end, Kind: sim.KindTaskEnd, Task: i, Version: s.endVer})
+}
+
+// finalize marks task i finished at time t and releases its processors.
+// The trace event carries the task's finish time, which for early
+// finalizations (Algorithm 2 line 28) lies after the event being
+// processed; trace consumers sort by time.
+func (e *engine) finalize(i int, t float64) {
+	s := &e.st[i]
+	if e.acct != nil {
+		// Close the final segment: the remaining fraction completes,
+		// with its fault-free checkpoint count.
+		task := e.in.Tasks[i]
+		n := e.in.Res.FFCheckpoints(task, s.sigma, s.alpha)
+		e.acct.segmentClose(t-s.tlastR, n, e.in.Res.CkptCost(task, s.sigma), s.alpha*task.Time(s.sigma))
+		e.acct.allocChange(i, t, 0)
+		e.acct.taskFinished(t)
+	}
+	s.done = true
+	s.finish = t
+	e.emit(TraceEvent{Time: t, Kind: "end", Task: i})
+	s.alpha = 0
+	s.lastSig = s.sigma
+	e.plat.ReleaseAll(i)
+	s.sigma = 0
+	e.live--
+}
+
+// eligible returns the live tasks available for redistribution at time t:
+// those not still paying for a previous redistribution or recovery
+// (Algorithm 2 line 15 excludes tasks with t < tlastR_i).
+func (e *engine) eligible(t float64) []int {
+	out := make([]int, 0, e.live)
+	for i := range e.st {
+		s := &e.st[i]
+		if !s.done && t >= s.tlastR {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// alphaT returns the remaining work fraction of a (non-faulty) task i
+// frozen at time t: α_i minus the fraction executed since tlastR_i,
+// where checkpointing overhead is discounted (§3.3.2):
+//
+//	executed = (t − tlastR_i − N_{i,j}·C_{i,j}) / t_{i,j}.
+//
+// The result is clamped to [0, 1]; under the expected-time semantics the
+// elapsed wall-clock can exceed the fault-free time of the remaining
+// work, in which case the task is treated as (almost) finished.
+func (e *engine) alphaT(i int, t float64) float64 {
+	s := &e.st[i]
+	task := e.in.Tasks[i]
+	j := s.sigma
+	elapsed := t - s.tlastR
+	if elapsed <= 0 {
+		return s.alpha
+	}
+	tau := e.in.Res.Period(task, j)
+	var nCkpt float64
+	if !math.IsInf(tau, 1) {
+		nCkpt = math.Floor(elapsed / tau)
+	}
+	executed := (elapsed - nCkpt*e.in.Res.CkptCost(task, j)) / task.Time(j)
+	a := s.alpha - executed
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// emit delivers a trace event to the observer, if any.
+func (e *engine) emit(ev TraceEvent) {
+	if e.opt.OnTrace != nil {
+		e.opt.OnTrace(ev)
+	}
+}
+
+// processEnd handles the termination of task i at time t (Algorithm 2
+// lines 17–20): release the processors, then redistribute them according
+// to the end-of-task rule.
+func (e *engine) processEnd(i int, t float64) {
+	e.ctr.Events++
+	e.ctr.TaskEnds++
+	e.now = t
+	e.finalize(i, t)
+	if e.live == 0 {
+		return
+	}
+	switch e.pol.OnEnd {
+	case EndLocal:
+		e.endLocal(t, e.eligible(t))
+	case EndGreedy:
+		e.iteratedGreedy(t, e.eligible(t), -1)
+	}
+}
+
+// processFault handles a failure event (Algorithm 2 lines 21–32).
+func (e *engine) processFault(f failure.Fault) {
+	e.ctr.Events++
+	e.now = f.Time
+	owner := e.plat.Owner(f.Proc)
+	if owner == platform.Free {
+		e.ctr.IdleFault++
+		e.emit(TraceEvent{Time: f.Time, Kind: "idle", Task: -1, Proc: f.Proc})
+		return
+	}
+	s := &e.st[owner]
+	if f.Time < s.tlastR {
+		// §6.1: no failures during downtime, recovery or redistribution.
+		e.ctr.SuppressedFault++
+		e.emit(TraceEvent{Time: f.Time, Kind: "suppressed", Task: owner, Proc: f.Proc})
+		return
+	}
+	e.ctr.Failures++
+	e.emit(TraceEvent{Time: f.Time, Kind: "failure", Task: owner, Proc: f.Proc})
+	t := f.Time
+	task := e.in.Tasks[owner]
+	j := s.sigma
+
+	// The tasks available for redistribution are determined before the
+	// faulty task's own tlastR moves past t (Algorithm 2 line 15).
+	elig := e.eligible(t)
+
+	// Roll back to the last checkpoint: only whole periods survive.
+	tau := e.in.Res.Period(task, j)
+	ck := e.in.Res.CkptCost(task, j)
+	var n float64
+	if !math.IsInf(tau, 1) {
+		n = math.Floor((t - s.tlastR) / tau)
+	}
+	if e.acct != nil {
+		committed := n * (tau - ck)
+		if cap := s.alpha * task.Time(j); committed > cap {
+			committed = cap
+		}
+		lost := (t - s.tlastR) - n*tau
+		e.acct.segmentClose(t-s.tlastR, int(n), ck, committed)
+		e.acct.failure(lost, e.in.Res.Downtime+e.in.Res.Recovery(task, j))
+	}
+	s.alpha -= n * (tau - ck) / task.Time(j)
+	if s.alpha < 0 {
+		s.alpha = 0
+	}
+	s.tlastR = t + e.in.Res.Downtime + e.in.Res.Recovery(task, j)
+	s.tU = s.tlastR + e.in.Res.ExpectedTime(task, j, s.alpha)
+	e.scheduleEnd(owner)
+
+	// Algorithm 2 line 28: tasks that finish during the faulty task's
+	// downtime + recovery window are finalized now so their processors
+	// are available to the failure heuristic.
+	for k := range e.st {
+		ks := &e.st[k]
+		if k != owner && !ks.done && ks.end <= s.tlastR {
+			e.finalize(k, ks.end)
+			e.ctr.EarlyFinalized++
+		}
+	}
+
+	// Tasks finalized above may still sit in the eligibility snapshot;
+	// drop them before handing the list to a heuristic.
+	kept := elig[:0]
+	for _, k := range elig {
+		if !e.st[k].done {
+			kept = append(kept, k)
+		}
+	}
+	elig = kept
+
+	// Only try to redistribute when the faulty task now dominates the
+	// schedule (Algorithm 2 line 30).
+	redistributed := false
+	if e.live > 0 && s.tU >= e.maxLiveTU() {
+		before := e.ctr.Redistributions
+		switch e.pol.OnFailure {
+		case FailShortestTasksFirst:
+			e.shortestTasksFirst(t, elig, owner)
+		case FailIteratedGreedy:
+			e.iteratedGreedy(t, elig, owner)
+		}
+		redistributed = e.ctr.Redistributions > before
+	}
+
+	if e.opt.RecordHistory {
+		e.hist = append(e.hist, Snapshot{
+			Time:              t,
+			PredictedMakespan: e.predictedMakespan(),
+			AllocStdDev:       e.allocStdDev(),
+			FaultyTask:        owner,
+			Redistributed:     redistributed,
+		})
+	}
+}
+
+// maxLiveTU returns the largest expected finish time among live tasks.
+func (e *engine) maxLiveTU() float64 {
+	worst := math.Inf(-1)
+	for i := range e.st {
+		if !e.st[i].done && e.st[i].tU > worst {
+			worst = e.st[i].tU
+		}
+	}
+	return worst
+}
+
+// predictedMakespan is the projected pack completion time: realized
+// finishes for done tasks, expected finishes for live ones.
+func (e *engine) predictedMakespan() float64 {
+	worst := 0.0
+	for i := range e.st {
+		v := e.st[i].tU
+		if e.st[i].done {
+			v = e.st[i].finish
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// allocStdDev is the population standard deviation of live allocations
+// (Figure 9b).
+func (e *engine) allocStdDev() float64 {
+	var acc stats.Accumulator
+	for i := range e.st {
+		if !e.st[i].done {
+			acc.Add(float64(e.st[i].sigma))
+		}
+	}
+	return acc.PopStdDev()
+}
+
+// commitRedist applies one redistribution decided by a policy: resize the
+// allocation, pay the redistribution cost, take the immediate checkpoint
+// (§3.3.2), and reschedule the end event. For the faulty task the
+// downtime and recovery on the old allocation are paid first.
+func (e *engine) commitRedist(i int, t float64, newSigma int, alphaT float64, eval *model.MinEval, faulty bool) error {
+	s := &e.st[i]
+	task := e.in.Tasks[i]
+	oldSigma := s.sigma
+	if newSigma == oldSigma {
+		return nil
+	}
+	if _, _, err := e.plat.Resize(i, newSigma); err != nil {
+		return fmt.Errorf("core: redistributing task %d: %w", i, err)
+	}
+	rc := e.in.RC.Cost(task.Data, oldSigma, newSigma)
+	extra := 0.0
+	if faulty {
+		extra = e.in.Res.Downtime + e.in.Res.Recovery(task, oldSigma)
+	}
+	if e.acct != nil {
+		if !faulty {
+			// Close the frozen segment of a non-faulty redistributed
+			// task; the faulty task's segment was closed by processFault.
+			elapsed := t - s.tlastR
+			tau := e.in.Res.Period(task, oldSigma)
+			var n float64
+			if !math.IsInf(tau, 1) && elapsed > 0 {
+				n = math.Floor(elapsed / tau)
+			}
+			work := elapsed - n*e.in.Res.CkptCost(task, oldSigma)
+			if work < 0 {
+				work = 0
+			}
+			if cap := s.alpha * task.Time(oldSigma); work > cap {
+				work = cap
+			}
+			e.acct.segmentClose(elapsed, int(n), e.in.Res.CkptCost(task, oldSigma), work)
+		}
+		e.acct.redistribution(rc, e.in.Res.PostRedistCkpt(task, newSigma))
+		e.acct.allocChange(i, t, newSigma)
+	}
+	s.sigma = newSigma
+	s.alpha = alphaT
+	s.tlastR = t + extra + rc + e.in.Res.PostRedistCkpt(task, newSigma)
+	s.tU = s.tlastR + eval.At(newSigma)
+	e.scheduleEnd(i)
+	e.ctr.Redistributions++
+	e.ctr.RedistTime += rc
+	e.emit(TraceEvent{Time: t, Kind: "redistribute", Task: i, From: oldSigma, To: newSigma, Cost: rc})
+	return nil
+}
+
+// check validates cross-structure invariants (Options.Paranoia).
+func (e *engine) check() error {
+	if err := e.plat.Validate(); err != nil {
+		return err
+	}
+	total := 0
+	for i := range e.st {
+		s := &e.st[i]
+		if s.done {
+			if e.plat.Count(i) != 0 {
+				return fmt.Errorf("core: finished task %d still owns processors", i)
+			}
+			continue
+		}
+		if s.sigma%2 != 0 || s.sigma < 2 {
+			return fmt.Errorf("core: task %d has invalid allocation %d", i, s.sigma)
+		}
+		if e.plat.Count(i) != s.sigma {
+			return fmt.Errorf("core: task %d σ=%d but platform says %d", i, s.sigma, e.plat.Count(i))
+		}
+		if s.alpha < 0 || s.alpha > 1 {
+			return fmt.Errorf("core: task %d α=%v outside [0,1]", i, s.alpha)
+		}
+		total += s.sigma
+	}
+	if total+e.plat.FreeProcs() != e.in.P {
+		return fmt.Errorf("core: processor conservation broken")
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import "container/heap"
+
+// taskHeap is a max-heap of task indices keyed by a caller-maintained
+// value (the expected finish time tU). The heuristics repeatedly pop the
+// longest task, possibly update its key, and reinsert it — exactly the
+// list discipline of Algorithms 1, 3 and 5. Ties break on the smaller
+// task index so runs are deterministic.
+type taskHeap struct {
+	idx []int     // heap of task indices
+	key []float64 // key per task index (shared with the engine)
+}
+
+func newTaskHeap(key []float64) *taskHeap {
+	return &taskHeap{key: key}
+}
+
+func (h *taskHeap) Len() int { return len(h.idx) }
+
+func (h *taskHeap) Less(a, b int) bool {
+	ia, ib := h.idx[a], h.idx[b]
+	if h.key[ia] != h.key[ib] {
+		return h.key[ia] > h.key[ib] // max-heap on key
+	}
+	return ia < ib
+}
+
+func (h *taskHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+
+func (h *taskHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+
+func (h *taskHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// add inserts task i (its key must already be set).
+func (h *taskHeap) add(i int) { heap.Push(h, i) }
+
+// popMax removes and returns the task with the largest key; ok is false
+// when empty.
+func (h *taskHeap) popMax() (int, bool) {
+	if len(h.idx) == 0 {
+		return 0, false
+	}
+	return heap.Pop(h).(int), true
+}
+
+// build heapifies the given indices in place.
+func (h *taskHeap) build(indices []int) {
+	h.idx = append(h.idx[:0], indices...)
+	heap.Init(h)
+}

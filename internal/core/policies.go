@@ -1,0 +1,266 @@
+package core
+
+import (
+	"sort"
+
+	"cosched/internal/model"
+)
+
+// scratch holds the per-invocation working state shared by the
+// redistribution heuristics: frozen work fractions, candidate allocations
+// and candidate expected finish times. Engine state is only mutated at
+// commit time, so an aborted heuristic leaves no trace.
+type scratch struct {
+	e         *engine
+	t         float64
+	faulty    int // task index, or -1
+	sigmaInit map[int]int
+	sigmaNew  map[int]int
+	alphaT    map[int]float64
+	oldTU     map[int]float64
+	tUc       []float64 // candidate tU, indexed by task (heap key)
+	evals     map[int]*model.MinEval
+}
+
+func (e *engine) newScratch(t float64, elig []int, faulty int) *scratch {
+	sc := &scratch{
+		e:         e,
+		t:         t,
+		faulty:    faulty,
+		sigmaInit: make(map[int]int, len(elig)),
+		sigmaNew:  make(map[int]int, len(elig)),
+		alphaT:    make(map[int]float64, len(elig)),
+		oldTU:     make(map[int]float64, len(elig)),
+		tUc:       make([]float64, len(e.st)),
+		evals:     make(map[int]*model.MinEval, len(elig)),
+	}
+	for _, i := range elig {
+		sc.sigmaInit[i] = e.st[i].sigma
+		sc.sigmaNew[i] = e.st[i].sigma
+		sc.oldTU[i] = e.st[i].tU
+		sc.tUc[i] = e.st[i].tU
+		if i == faulty {
+			// The skeleton already rolled α back to the last checkpoint.
+			sc.alphaT[i] = e.st[i].alpha
+		} else {
+			sc.alphaT[i] = e.alphaT(i, t)
+		}
+		sc.evals[i] = model.NewMinEval(e.in.Res, e.in.Tasks[i], sc.alphaT[i])
+	}
+	return sc
+}
+
+// extra returns the downtime + recovery surcharge paid by the faulty task
+// before any redistribution can start. The pseudocode of Algorithms 4/5
+// omits it from candidate finish times while §3.3.2 includes it in
+// tlastR; we apply it consistently on both sides (DESIGN.md §5.3).
+func (sc *scratch) extra(i int) float64 {
+	if i != sc.faulty {
+		return 0
+	}
+	task := sc.e.in.Tasks[i]
+	return sc.e.in.Res.Downtime + sc.e.in.Res.Recovery(task, sc.sigmaInit[i])
+}
+
+// candidate returns the expected finish time of task i if it were
+// redistributed from sigmaInit to cand processors at time t:
+//
+//	tE = t [+ D + R] + RC^{init→cand} + C_{i,cand} + t^R_{i,cand}(αt).
+//
+// Reverting to the initial allocation means no redistribution at all, so
+// the candidate is the task's unperturbed trajectory (its current tU).
+func (sc *scratch) candidate(i, cand int) float64 {
+	if cand == sc.sigmaInit[i] {
+		return sc.oldTU[i]
+	}
+	task := sc.e.in.Tasks[i]
+	return sc.t + sc.extra(i) +
+		sc.e.in.RC.Cost(task.Data, sc.sigmaInit[i], cand) +
+		sc.e.in.Res.PostRedistCkpt(task, cand) +
+		sc.evals[i].At(cand)
+}
+
+// commit applies every allocation change to the engine. Shrinks are
+// applied before grows so the processor pool can always serve the grows,
+// and tasks are visited in index order for determinism.
+func (sc *scratch) commit() {
+	changed := make([]int, 0, len(sc.sigmaNew))
+	for i, newS := range sc.sigmaNew {
+		if newS != sc.sigmaInit[i] {
+			changed = append(changed, i)
+		}
+	}
+	sort.Ints(changed)
+	for pass := 0; pass < 2; pass++ {
+		for _, i := range changed {
+			shrink := sc.sigmaNew[i] < sc.sigmaInit[i]
+			if (pass == 0) != shrink {
+				continue
+			}
+			err := sc.e.commitRedist(i, sc.t, sc.sigmaNew[i], sc.alphaT[i], sc.evals[i], i == sc.faulty)
+			if err != nil {
+				// Allocation arithmetic is validated by construction; a
+				// failure here is a programming error, not a user error.
+				panic(err)
+			}
+		}
+	}
+}
+
+// endLocal is Algorithm 3 (Redistrib-Available-Procs): hand the free
+// processors to the longest tasks, two at a time, as long as their
+// expected finish improves; a task that cannot be improved is dropped
+// from consideration for this invocation.
+func (e *engine) endLocal(t float64, elig []int) {
+	k := e.plat.FreeProcs()
+	if k < 2 || len(elig) == 0 {
+		return
+	}
+	sc := e.newScratch(t, elig, -1)
+	h := newTaskHeap(sc.tUc)
+	h.build(elig)
+	for k >= 2 {
+		i, ok := h.popMax()
+		if !ok {
+			break
+		}
+		// Scan even extensions; the first improving one proves the task
+		// is improvable (lines 10–15), after which it grows by one pair.
+		improvable := false
+		for q := 2; q <= k; q += 2 {
+			if sc.candidate(i, sc.sigmaNew[i]+q) < sc.tUc[i] {
+				improvable = true
+				break
+			}
+		}
+		if improvable {
+			sc.sigmaNew[i] += 2
+			sc.tUc[i] = sc.candidate(i, sc.sigmaNew[i])
+			h.add(i)
+			k -= 2
+		}
+	}
+	sc.commit()
+}
+
+// iteratedGreedy is Algorithm 5, also used as EndGreedy when faulty < 0:
+// virtually reset every eligible task to one pair, then regrow the
+// longest task two processors at a time while its expected finish
+// (including redistribution costs) improves. Reaching the initial
+// allocation again means "no redistribution" and restores the task's
+// unperturbed trajectory.
+func (e *engine) iteratedGreedy(t float64, elig []int, faulty int) {
+	if len(elig) == 0 {
+		return
+	}
+	sc := e.newScratch(t, elig, faulty)
+	avail := e.plat.FreeProcs()
+	for _, i := range elig {
+		avail += sc.sigmaInit[i] - 2
+		sc.sigmaNew[i] = 2
+		sc.tUc[i] = sc.candidate(i, 2)
+	}
+	h := newTaskHeap(sc.tUc)
+	h.build(elig)
+	for avail >= 2 {
+		i, ok := h.popMax()
+		if !ok {
+			break
+		}
+		pmax := sc.sigmaNew[i] + avail
+		improvable := false
+		for cand := sc.sigmaNew[i] + 2; cand <= pmax; cand += 2 {
+			if sc.candidate(i, cand) < sc.tUc[i] {
+				improvable = true
+				break
+			}
+		}
+		if !improvable {
+			// Line 30 of Algorithm 5: once the longest task cannot be
+			// improved the expected makespan is settled; stop growing.
+			break
+		}
+		sc.sigmaNew[i] += 2
+		sc.tUc[i] = sc.candidate(i, sc.sigmaNew[i])
+		h.add(i)
+		avail -= 2
+	}
+	sc.commit()
+}
+
+// shortestTasksFirst is Algorithm 4: give the free processors to the
+// faulty task while that improves it, then transfer pairs from the
+// shortest tasks as long as both the faulty task improves and the donor
+// does not become the new longest task.
+func (e *engine) shortestTasksFirst(t float64, elig []int, faulty int) {
+	sc := e.newScratch(t, elig, faulty)
+	f := faulty
+	if _, ok := sc.sigmaInit[f]; !ok {
+		return
+	}
+
+	// Phase 1 (lines 12–25): absorb free processors, smallest improving
+	// even increment first, repeatedly.
+	k := e.plat.FreeProcs()
+	for k >= 2 {
+		granted := 0
+		for q := 2; q <= k; q += 2 {
+			if tE := sc.candidate(f, sc.sigmaNew[f]+q); tE < sc.tUc[f] {
+				granted = q
+				sc.sigmaNew[f] += q
+				sc.tUc[f] = tE
+				break
+			}
+		}
+		if granted == 0 {
+			break
+		}
+		k -= granted
+	}
+
+	// Phase 2 (lines 26–41): steal pairs from the shortest tasks. A
+	// transfer requires an even amount q whose removal keeps the donor's
+	// new finish below the faulty task's current expected finish.
+	for {
+		s := sc.shortestDonor(elig, f)
+		if s < 0 {
+			break
+		}
+		improvable := false
+		for q := 2; q <= sc.sigmaNew[s]-2; q += 2 {
+			tEf := sc.candidate(f, sc.sigmaNew[f]+q)
+			tEs := sc.candidate(s, sc.sigmaNew[s]-q)
+			if tEf < sc.tUc[f] && tEs < sc.tUc[f] {
+				improvable = true
+				break
+			}
+		}
+		if !improvable {
+			break
+		}
+		sc.sigmaNew[f] += 2
+		sc.sigmaNew[s] -= 2
+		sc.tUc[f] = sc.candidate(f, sc.sigmaNew[f])
+		sc.tUc[s] = sc.candidate(s, sc.sigmaNew[s])
+		if sc.tUc[s] > sc.tUc[f] {
+			// Line 39: the donor became the bottleneck; stop stealing.
+			break
+		}
+	}
+	sc.commit()
+}
+
+// shortestDonor returns the eligible task with the smallest candidate
+// finish time that still has a pair to spare (σ ≥ 4), or -1.
+func (sc *scratch) shortestDonor(elig []int, faulty int) int {
+	best := -1
+	for _, i := range elig {
+		if i == faulty || sc.sigmaNew[i] < 4 {
+			continue
+		}
+		if best < 0 || sc.tUc[i] < sc.tUc[best] || (sc.tUc[i] == sc.tUc[best] && i < best) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"cosched/internal/model"
+)
+
+// InitialSchedule is Algorithm 1 of the paper (Theorem 1): the optimal
+// processor assignment when no redistribution is allowed, under failures.
+// Every task starts with one buddy pair (σ(i) = 2); processors are then
+// granted two at a time to the task with the largest expected completion
+// time t^R_{i,σ(i)}(1), as long as its expected time can still strictly
+// decrease with the processors remaining (line 9 of the pseudocode keeps
+// unusable processors free for later redistributions).
+//
+// The returned slice σ satisfies Σσ(i) ≤ p with every σ(i) even and ≥ 2.
+// Complexity: O(p·log n) heap operations plus O(p) model evaluations per
+// task thanks to the incremental prefix-min evaluator.
+func InitialSchedule(in Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Tasks)
+	sigma := make([]int, n)
+	evals := make([]*model.MinEval, n)
+	key := make([]float64, n)
+	indices := make([]int, n)
+	for i := range in.Tasks {
+		sigma[i] = 2
+		evals[i] = model.NewMinEval(in.Res, in.Tasks[i], 1)
+		key[i] = evals[i].At(2)
+		indices[i] = i
+	}
+	h := newTaskHeap(key)
+	h.build(indices)
+
+	avail := in.P - 2*n
+	for avail >= 2 {
+		i, ok := h.popMax()
+		if !ok {
+			break
+		}
+		pmax := sigma[i] + avail
+		// Line 9: is there any hope of improving the longest task with
+		// everything we have? ExpectedTime is non-increasing in j after
+		// Eq. (6), so a strict decrease at pmax means some extension helps.
+		if evals[i].At(sigma[i]) > evals[i].At(pmax) {
+			sigma[i] += 2
+			key[i] = evals[i].At(sigma[i])
+			h.add(i)
+			avail -= 2
+		} else {
+			// The longest task cannot be improved: the overall expected
+			// completion time is settled, keep the processors free.
+			break
+		}
+	}
+	return sigma, nil
+}
+
+// ScheduleMakespan returns the expected completion time of a schedule σ
+// with no redistribution: max_i t^R_{i,σ(i)}(1).
+func ScheduleMakespan(in Instance, sigma []int) float64 {
+	worst := 0.0
+	for i, t := range in.Tasks {
+		v := in.Res.ExpectedTime(t, sigma[i], 1)
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

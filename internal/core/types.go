@@ -1,0 +1,232 @@
+// Package core implements the paper's contribution: resilient
+// co-scheduling of a pack of malleable tasks with processor
+// redistribution (Benoit, Pottier, Robert, RR-8795 / ICPP'16).
+//
+// It contains:
+//   - Algorithm 1 — the optimal schedule without redistribution
+//     (InitialSchedule, Theorem 1);
+//   - Algorithm 2 — the event-driven skeleton handling failures and task
+//     terminations (Run);
+//   - Algorithm 3 — EndLocal, local redistribution of released processors;
+//   - EndGreedy — full schedule recomputation at task terminations;
+//   - Algorithm 4 — ShortestTasksFirst, failure-time stealing;
+//   - Algorithm 5 — IteratedGreedy, full recomputation at failures.
+//
+// See DESIGN.md §5 for the documented resolutions of the pseudocode's
+// ambiguities (D+R accounting, busy-task exclusion, loop termination).
+package core
+
+import (
+	"fmt"
+
+	"cosched/internal/model"
+)
+
+// EndRule selects what happens when a task terminates and releases its
+// processors (§5.2 of the paper).
+type EndRule int
+
+const (
+	// EndNone performs no redistribution at task terminations.
+	EndNone EndRule = iota
+	// EndLocal greedily hands released processors to the longest tasks
+	// (Algorithm 3).
+	EndLocal
+	// EndGreedy recomputes a complete schedule, accounting for
+	// redistribution costs (the end-of-task variant of Algorithm 5).
+	EndGreedy
+)
+
+// String implements fmt.Stringer.
+func (e EndRule) String() string {
+	switch e {
+	case EndNone:
+		return "EndNone"
+	case EndLocal:
+		return "EndLocal"
+	case EndGreedy:
+		return "EndGreedy"
+	default:
+		return fmt.Sprintf("EndRule(%d)", int(e))
+	}
+}
+
+// FailRule selects what happens when a failure strikes the longest task
+// (§5.3 of the paper).
+type FailRule int
+
+const (
+	// FailNone performs no redistribution at failures.
+	FailNone FailRule = iota
+	// FailShortestTasksFirst gives the faulty task the available
+	// processors, then steals from the shortest tasks (Algorithm 4).
+	FailShortestTasksFirst
+	// FailIteratedGreedy recomputes a complete schedule at each failure
+	// (Algorithm 5).
+	FailIteratedGreedy
+)
+
+// String implements fmt.Stringer.
+func (f FailRule) String() string {
+	switch f {
+	case FailNone:
+		return "FailNone"
+	case FailShortestTasksFirst:
+		return "ShortestTasksFirst"
+	case FailIteratedGreedy:
+		return "IteratedGreedy"
+	default:
+		return fmt.Sprintf("FailRule(%d)", int(f))
+	}
+}
+
+// Policy pairs an end-of-task rule with a failure rule. The paper's four
+// heuristic combinations are IteratedGreedy/ShortestTasksFirst crossed
+// with EndGreedy/EndLocal.
+type Policy struct {
+	OnEnd     EndRule
+	OnFailure FailRule
+}
+
+// String implements fmt.Stringer, using the paper's naming convention.
+func (p Policy) String() string {
+	if p.OnEnd == EndNone && p.OnFailure == FailNone {
+		return "NoRedistribution"
+	}
+	return fmt.Sprintf("%s-%s", p.OnFailure, p.OnEnd)
+}
+
+// Named policy combinations from the paper's evaluation (§6.2).
+var (
+	NoRedistribution = Policy{OnEnd: EndNone, OnFailure: FailNone}
+	IGEndGreedy      = Policy{OnEnd: EndGreedy, OnFailure: FailIteratedGreedy}
+	IGEndLocal       = Policy{OnEnd: EndLocal, OnFailure: FailIteratedGreedy}
+	STFEndGreedy     = Policy{OnEnd: EndGreedy, OnFailure: FailShortestTasksFirst}
+	STFEndLocal      = Policy{OnEnd: EndLocal, OnFailure: FailShortestTasksFirst}
+)
+
+// Semantics selects how the simulator schedules task-end events.
+type Semantics int
+
+const (
+	// SemanticsExpected is the paper-faithful mode: a task's end event is
+	// its expected finish time tU = tlastR + t^R(α), as in Algorithm 2.
+	SemanticsExpected Semantics = iota
+	// SemanticsDeterministic is the physical mode: a task ends at its
+	// fault-free completion tlastR + α·t_{i,j} + N^ff·C_{i,j}, and all
+	// delay comes from simulated failures. Decision-making still uses
+	// expected times. Used for the ablation study.
+	SemanticsDeterministic
+)
+
+// String implements fmt.Stringer.
+func (s Semantics) String() string {
+	switch s {
+	case SemanticsExpected:
+		return "expected"
+	case SemanticsDeterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("Semantics(%d)", int(s))
+	}
+}
+
+// TraceEvent is one observable step of a simulation, delivered to
+// Options.OnTrace as it happens. From and To are meaningful only for
+// redistribution events; Proc only for fault events.
+type TraceEvent struct {
+	Time float64 `json:"t"`
+	Kind string  `json:"kind"` // failure | suppressed | idle | end | redistribute
+	Task int     `json:"task"`
+	Proc int     `json:"proc,omitempty"`
+	From int     `json:"from,omitempty"` // σ before redistribution
+	To   int     `json:"to,omitempty"`   // σ after redistribution
+	Cost float64 `json:"cost,omitempty"` // redistribution cost RC
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// Semantics selects the end-event model (default SemanticsExpected).
+	Semantics Semantics
+	// RecordHistory captures a Snapshot at every handled failure,
+	// feeding Figure 9.
+	RecordHistory bool
+	// MaxEvents aborts pathological runs; 0 means the default (50M).
+	MaxEvents int
+	// Paranoia re-validates platform invariants after every event
+	// (slow; used by tests).
+	Paranoia bool
+	// OnTrace, when non-nil, receives every observable event.
+	OnTrace func(TraceEvent)
+	// Accounting enables the waste-breakdown decomposition
+	// (Result.Breakdown).
+	Accounting bool
+}
+
+// Counters aggregates what happened during a run.
+type Counters struct {
+	Failures        int     // failures striking a running, unprotected task
+	SuppressedFault int     // failures during downtime/recovery/redistribution (discarded, §6.1)
+	IdleFault       int     // failures on processors not currently allocated
+	Redistributions int     // tasks whose allocation actually changed
+	RedistTime      float64 // total redistribution time paid (sum of RC)
+	TaskEnds        int     // task-end events processed
+	EarlyFinalized  int     // tasks finalized by Algorithm 2 line 28
+	Events          int     // total events processed
+}
+
+// Snapshot is one Figure-9 history point, taken after handling a failure.
+type Snapshot struct {
+	Time              float64 // date of the fault
+	PredictedMakespan float64 // max over tasks of expected finish
+	AllocStdDev       float64 // population stddev of σ(i) over live tasks
+	FaultyTask        int
+	Redistributed     bool // whether the failure policy changed any allocation
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	Makespan  float64   // completion time of the last task
+	Finish    []float64 // per-task completion times
+	Sigma     []int     // final allocation at each task's completion
+	Counters  Counters
+	History   []Snapshot // non-nil only with Options.RecordHistory
+	Breakdown *Breakdown // non-nil only with Options.Accounting
+}
+
+// Instance bundles the inputs of a run: the pack, the platform size and
+// the resilience parameters.
+type Instance struct {
+	Tasks []model.Task
+	P     int
+	Res   model.Resilience
+	// RC parameterizes the redistribution cost; the zero value is the
+	// paper's Eq. (9) (zero latency, unit bandwidth).
+	RC model.CostModel
+}
+
+// Validate checks that the instance is schedulable.
+func (in Instance) Validate() error {
+	n := len(in.Tasks)
+	if n == 0 {
+		return fmt.Errorf("core: empty pack")
+	}
+	if in.P <= 0 || in.P%2 != 0 {
+		return fmt.Errorf("core: processor count %d must be positive and even", in.P)
+	}
+	if in.P < 2*n {
+		return fmt.Errorf("core: %d processors cannot give %d tasks a pair each (need ≥ %d)", in.P, n, 2*n)
+	}
+	if err := in.Res.Validate(); err != nil {
+		return err
+	}
+	for i, t := range in.Tasks {
+		if t.Profile == nil {
+			return fmt.Errorf("core: task %d has no speedup profile", i)
+		}
+		if t.Data < 0 || t.Ckpt < 0 {
+			return fmt.Errorf("core: task %d has negative data or checkpoint size", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+// Package experiments reproduces the evaluation section of the paper
+// (§6, Figures 5–14). Each figure is a Sweep: a swept parameter, a spec
+// generator, and the series (policies) the paper plots. Replicates use
+// common random numbers — every policy of a replicate sees the identical
+// fault sequence — and results are normalized by the no-redistribution
+// fault baseline exactly as in the paper.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/rng"
+	"cosched/internal/stats"
+	"cosched/internal/workload"
+)
+
+// Series names shared across figures (matching the paper's legends).
+const (
+	SeriesNoRC      = "Fault context without RC"
+	SeriesIGEG      = "IteratedGreedy-EndGreedy"
+	SeriesIGEL      = "IteratedGreedy-EndLocal"
+	SeriesSTFEG     = "ShortestTasksFirst-EndGreedy"
+	SeriesSTFEL     = "ShortestTasksFirst-EndLocal"
+	SeriesFaultFree = "Fault-free context with RC (local)"
+
+	SeriesFFNoRC   = "Without RC"
+	SeriesFFGreedy = "With RC (greedy)"
+	SeriesFFLocal  = "With RC (local decisions)"
+)
+
+// SeriesSpec is one curve of a figure.
+type SeriesSpec struct {
+	Name      string
+	Policy    core.Policy
+	FaultFree bool // run with λ = 0 and no fault source
+}
+
+// FaultSeries returns the six curves of the failure-context figures
+// (7, 8, 10–14). The first entry is the normalization base.
+func FaultSeries() []SeriesSpec {
+	return []SeriesSpec{
+		{Name: SeriesNoRC, Policy: core.NoRedistribution},
+		{Name: SeriesIGEG, Policy: core.IGEndGreedy},
+		{Name: SeriesIGEL, Policy: core.IGEndLocal},
+		{Name: SeriesSTFEG, Policy: core.STFEndGreedy},
+		{Name: SeriesSTFEL, Policy: core.STFEndLocal},
+		{Name: SeriesFaultFree, Policy: core.Policy{OnEnd: core.EndLocal}, FaultFree: true},
+	}
+}
+
+// FaultFreeSeries returns the three curves of the fault-free figures
+// (5, 6). The first entry is the normalization base.
+func FaultFreeSeries() []SeriesSpec {
+	return []SeriesSpec{
+		{Name: SeriesFFNoRC, Policy: core.NoRedistribution, FaultFree: true},
+		{Name: SeriesFFGreedy, Policy: core.Policy{OnEnd: core.EndGreedy}, FaultFree: true},
+		{Name: SeriesFFLocal, Policy: core.Policy{OnEnd: core.EndLocal}, FaultFree: true},
+	}
+}
+
+// Sweep is one panel of a paper figure.
+type Sweep struct {
+	ID     string
+	Title  string
+	XLabel string
+	X      []float64
+	// SpecAt maps a swept value to a full workload configuration.
+	SpecAt func(x float64) workload.Spec
+	Series []SeriesSpec
+	// Base is the series used for normalization ("" keeps raw seconds).
+	Base string
+	Reps int
+	Seed uint64
+	// Semantics for all runs (paper-faithful expected times by default).
+	Semantics core.Semantics
+	// Workers bounds run parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the sweep and returns the aggregated (and, when Base is
+// set, normalized) table of mean makespans.
+func (s Sweep) Run() (*stats.Table, error) {
+	if len(s.X) == 0 || len(s.Series) == 0 {
+		return nil, fmt.Errorf("experiments: sweep %s has no points or series", s.ID)
+	}
+	if s.Reps <= 0 {
+		s.Reps = 1
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ xi, rep int }
+	results := make([][][]float64, len(s.X))
+	for xi := range results {
+		results[xi] = make([][]float64, len(s.Series))
+		for si := range results[xi] {
+			results[xi][si] = make([]float64, s.Reps)
+		}
+	}
+	jobs := make(chan job)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				if err := s.runReplicate(jb.xi, jb.rep, results[jb.xi]); err != nil {
+					select {
+					case errs <- fmt.Errorf("experiments: %s x=%v rep=%d: %w", s.ID, s.X[jb.xi], jb.rep, err):
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for xi := range s.X {
+		for rep := 0; rep < s.Reps; rep++ {
+			jobs <- job{xi, rep}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	table := &stats.Table{Title: s.Title, XLabel: s.XLabel, YLabel: "mean makespan (s)", X: s.X}
+	for si, sp := range s.Series {
+		ys := make([]float64, len(s.X))
+		for xi := range s.X {
+			ys[xi] = stats.Mean(results[xi][si])
+		}
+		if err := table.AddSeries(sp.Name, ys); err != nil {
+			return nil, err
+		}
+	}
+	if s.Base != "" {
+		if err := table.Normalize(s.Base); err != nil {
+			return nil, err
+		}
+		table.YLabel = "normalized makespan"
+	}
+	return table, nil
+}
+
+// runReplicate executes every series of one (x, rep) cell on a shared
+// workload and a shared fault stream seed (common random numbers).
+func (s Sweep) runReplicate(xi, rep int, out [][]float64) error {
+	spec := s.SpecAt(s.X[xi])
+	taskSeed := mix(s.Seed, uint64(xi)*2654435761+1, uint64(rep)+1)
+	faultSeed := mix(s.Seed, uint64(xi)*40503+7, uint64(rep)*9176+3)
+	tasks, err := spec.Generate(rng.New(taskSeed))
+	if err != nil {
+		return err
+	}
+	for si, sp := range s.Series {
+		runSpec := spec
+		var src failure.Source
+		if sp.FaultFree {
+			runSpec.MTBFYears = 0
+		} else if runSpec.Lambda() > 0 {
+			// A fresh renewal source with the replicate's seed: every
+			// series of this replicate sees the same fault sequence.
+			gen, err := failure.NewRenewal(runSpec.P, failure.Exponential{Lambda: runSpec.Lambda()}, rng.New(faultSeed))
+			if err != nil {
+				return err
+			}
+			src = gen
+		}
+		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience()}
+		res, err := core.Run(in, sp.Policy, src, core.Options{Semantics: s.Semantics})
+		if err != nil {
+			return err
+		}
+		out[si][rep] = res.Makespan
+	}
+	return nil
+}
+
+// mix combines seed material into a stream-independent 64-bit seed.
+func mix(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cosched/internal/core"
+	"cosched/internal/workload"
+)
+
+// tiny returns Params that shrink every figure to test size.
+func tiny() Params {
+	return Params{Reps: 2, Seed: 7, Shrink: 0.05, Workers: 4}
+}
+
+func TestMixDeterministicAndSpread(t *testing.T) {
+	a := mix(1, 2, 3)
+	b := mix(1, 2, 3)
+	if a != b {
+		t.Fatal("mix not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 100; i++ {
+		seen[mix(1, i, 0)] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("mix collides on trivially different inputs")
+	}
+}
+
+func TestShrinkSpec(t *testing.T) {
+	s := workload.Default()
+	s.N, s.P, s.MTBFYears = 100, 5000, 100
+	sh := shrinkSpec(s, 0.1)
+	if sh.N != 10 || sh.P != 500 {
+		t.Fatalf("shrunk to n=%d p=%d, want 10/500", sh.N, sh.P)
+	}
+	if sh.MTBFYears != 10 {
+		t.Fatalf("MTBF should scale with the platform, got %v", sh.MTBFYears)
+	}
+	if err := sh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny shrink factors keep the spec valid.
+	sh2 := shrinkSpec(s, 0.001)
+	if err := sh2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No-op above 1.
+	if same := shrinkSpec(s, 1); same.N != s.N || same.P != s.P {
+		t.Fatal("shrink factor 1 must be identity")
+	}
+}
+
+func TestByIDCoversAllFigures(t *testing.T) {
+	for _, id := range SweepIDs() {
+		sw, err := ByID(id, tiny())
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(sw.X) == 0 || sw.SpecAt == nil || len(sw.Series) == 0 {
+			t.Fatalf("figure %s is structurally empty", id)
+		}
+		if sw.Base == "" {
+			t.Fatalf("figure %s has no normalization base", id)
+		}
+		// Every point must produce a valid spec.
+		for _, x := range sw.X {
+			if err := sw.SpecAt(x).Validate(); err != nil {
+				t.Fatalf("figure %s at x=%v: %v", id, x, err)
+			}
+		}
+	}
+	if _, err := ByID("nope", tiny()); err == nil {
+		t.Fatal("unknown figure id accepted")
+	}
+	if _, err := Figure5("z", tiny()); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if _, err := Figure13("z", tiny()); err == nil {
+		t.Fatal("bad figure 13 variant accepted")
+	}
+}
+
+func TestFigureParametersMatchPaper(t *testing.T) {
+	full := Params{Reps: 1, Seed: 1}
+	f7, _ := Figure7(full)
+	if f7.X[0] != 100 || f7.X[len(f7.X)-1] != 1000 {
+		t.Fatalf("figure 7 sweeps %v", f7.X)
+	}
+	if got := f7.SpecAt(300); got.P != 5000 || got.N != 300 {
+		t.Fatalf("figure 7 spec wrong: %+v", got)
+	}
+	f10, _ := Figure10(full)
+	if got := f10.SpecAt(50); got.MTBFYears != 50 || got.P != 1000 {
+		t.Fatalf("figure 10 spec wrong: %+v", got)
+	}
+	f13b, _ := Figure13("b", full)
+	if got := f13b.SpecAt(25); got.CkptUnit != 0.1 {
+		t.Fatalf("figure 13b checkpoint cost %v, want 0.1", got.CkptUnit)
+	}
+	f14, _ := Figure14(full)
+	if got := f14.SpecAt(0.3); got.SeqFraction != 0.3 {
+		t.Fatalf("figure 14 spec wrong: %+v", got)
+	}
+	f5b, _ := Figure5("b", full)
+	if got := f5b.SpecAt(400); got.MInf != 1500 {
+		t.Fatalf("figure 5b heterogeneity wrong: %+v", got)
+	}
+}
+
+func TestSweepRunSmall(t *testing.T) {
+	sw, err := ByID("5a", Params{Reps: 2, Seed: 3, Shrink: 0.04, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.X = []float64{300, 600, 1200} // trim points for test speed
+	table, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Series) != 3 {
+		t.Fatalf("table has %d series, want 3", len(table.Series))
+	}
+	base := table.SeriesByName(SeriesFFNoRC)
+	for _, v := range base.Y {
+		if v != 1 {
+			t.Fatalf("base series not normalized: %v", base.Y)
+		}
+	}
+	for _, name := range []string{SeriesFFGreedy, SeriesFFLocal} {
+		s := table.SeriesByName(name)
+		if s == nil {
+			t.Fatalf("series %s missing", name)
+		}
+		for i, v := range s.Y {
+			if v <= 0 || v > 1.0+1e-9 {
+				t.Fatalf("%s[%d] = %v: fault-free redistribution must not exceed the baseline", name, i, v)
+			}
+		}
+	}
+}
+
+func TestSweepRunFaultFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep")
+	}
+	sw, err := ByID("10", Params{Reps: 2, Seed: 11, Shrink: 0.06, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.X = []float64{5, 50} // two MTBF points suffice for the test
+	table, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Series) != 6 {
+		t.Fatalf("table has %d series, want 6", len(table.Series))
+	}
+	ff := table.SeriesByName(SeriesFaultFree)
+	for i, v := range ff.Y {
+		if v <= 0 || v > 1.05 {
+			t.Fatalf("fault-free bound series out of range at %d: %v", i, v)
+		}
+	}
+}
+
+func TestSweepRunRejectsEmpty(t *testing.T) {
+	if _, err := (Sweep{ID: "x"}).Run(); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	sw, _ := ByID("5a", Params{Reps: 2, Seed: 5, Shrink: 0.03, Workers: 3})
+	sw.X = []float64{300, 900}
+	a, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for i := range a.Series[si].Y {
+			if a.Series[si].Y[i] != b.Series[si].Y[i] {
+				t.Fatal("sweep results depend on scheduling of goroutines")
+			}
+		}
+	}
+}
+
+func TestFigure9Small(t *testing.T) {
+	res, err := Figure9(Params{Seed: 21, Shrink: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Makespan.X) == 0 {
+		t.Fatal("figure 9 has no fault dates")
+	}
+	if len(res.Makespan.Series) != 3 || len(res.StdDev.Series) != 3 {
+		t.Fatal("figure 9 must carry three policies")
+	}
+	for _, s := range res.Makespan.Series {
+		for i, v := range s.Y {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("series %s point %d invalid: %v", s.Name, i, v)
+			}
+		}
+	}
+	for _, s := range res.StdDev.Series {
+		for i, v := range s.Y {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("stddev series %s point %d invalid: %v", s.Name, i, v)
+			}
+		}
+	}
+	// The redistribution policies must actually act on this scenario:
+	// their allocation-spread curves end up differing from NoRC's
+	// (NoRC's stddev only moves when a task completes).
+	noRC := res.StdDev.SeriesByName("No redistribution")
+	ig := res.StdDev.SeriesByName("Iterated greedy")
+	differs := false
+	for i := range noRC.Y {
+		if ig.Y[i] != noRC.Y[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("IteratedGreedy never changed any allocation in the Figure 9 scenario")
+	}
+}
+
+func TestResample(t *testing.T) {
+	snaps := []core.Snapshot{
+		{Time: 10, PredictedMakespan: 1},
+		{Time: 20, PredictedMakespan: 2},
+		{Time: 30, PredictedMakespan: 3},
+	}
+	grid := []float64{5, 10, 15, 25, 40}
+	got := resample(snaps, grid, func(s core.Snapshot) float64 { return s.PredictedMakespan })
+	want := []float64{1, 1, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resample[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if out := resample(nil, grid, func(s core.Snapshot) float64 { return 0 }); len(out) != len(grid) {
+		t.Fatal("empty history must still produce a grid-sized slice")
+	}
+}
+
+func TestSeriesNamesMatchPaperLegends(t *testing.T) {
+	for _, sw := range []string{SeriesIGEG, SeriesIGEL, SeriesSTFEG, SeriesSTFEL} {
+		if !strings.Contains(sw, "-End") {
+			t.Fatalf("series name %q does not follow the paper's naming", sw)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package failure is the fault simulator substrate. The paper uses the
+// fault generator of Bougeret et al. / Bosilca et al. ([20, 21]) to draw
+// i.i.d. fail-stop failures per processor from an exponential law of
+// parameter λ; this package reimplements that generator (exponential and,
+// as an extension, Weibull inter-arrival laws), plus trace recording and
+// replay so that experiments are reproducible and policies can be
+// compared on identical failure sequences.
+package failure
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"cosched/internal/rng"
+)
+
+// Fault is one fail-stop failure: processor Proc fails at time Time.
+type Fault struct {
+	Time float64 `json:"t"`
+	Proc int     `json:"proc"`
+}
+
+// Source produces a time-ordered stream of faults. Next returns false
+// when the stream is exhausted (finite traces) — generative sources are
+// endless and the consumer stops pulling when its simulation ends.
+type Source interface {
+	Next() (Fault, bool)
+}
+
+// Law is a per-processor inter-arrival distribution for a renewal fault
+// process.
+type Law interface {
+	// Gap draws the time from one failure of a processor to its next.
+	Gap(r *rng.Source) float64
+	// Rate returns the long-run failure rate (1/mean gap) used for
+	// diagnostics; it may return 0 if unknown.
+	Rate() float64
+}
+
+// Exponential is the memoryless law of the paper: gap ~ Exp(λ).
+type Exponential struct {
+	Lambda float64 // per-processor failure rate (1/MTBF)
+}
+
+// Gap implements Law.
+func (e Exponential) Gap(r *rng.Source) float64 { return r.Exponential(e.Lambda) }
+
+// Rate implements Law.
+func (e Exponential) Rate() float64 { return e.Lambda }
+
+// Weibull is the heavy-tailed extension law with shape k and scale λ_s.
+// Shape < 1 models infant mortality, shape 1 reduces to Exponential.
+type Weibull struct {
+	Shape, Scale float64
+}
+
+// Gap implements Law.
+func (w Weibull) Gap(r *rng.Source) float64 { return r.Weibull(w.Shape, w.Scale) }
+
+// Rate implements Law.
+func (w Weibull) Rate() float64 {
+	if w.Scale == 0 {
+		return 0
+	}
+	// Mean = Scale·Γ(1 + 1/Shape).
+	return 1 / (w.Scale * math.Gamma(1+1/w.Shape))
+}
+
+// Null is a fault-free source.
+type Null struct{}
+
+// Next implements Source.
+func (Null) Next() (Fault, bool) { return Fault{}, false }
+
+// procEntry is a pending next-failure for one processor.
+type procEntry struct {
+	t    float64
+	proc int
+}
+
+type procHeap []procEntry
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].proc < h[j].proc
+}
+func (h procHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *procHeap) Push(x interface{}) { *h = append(*h, x.(procEntry)) }
+func (h *procHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Renewal generates faults as p independent per-processor renewal
+// processes with the given law, merged in time order via a heap. For the
+// exponential law this is exactly the paper's fault model. Draw order is
+// deterministic for a given seed.
+type Renewal struct {
+	law Law
+	rng *rng.Source
+	h   procHeap
+}
+
+// NewRenewal creates a renewal source over p processors.
+func NewRenewal(p int, law Law, src *rng.Source) (*Renewal, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("failure: processor count %d must be positive", p)
+	}
+	if law == nil || src == nil {
+		return nil, fmt.Errorf("failure: law and rng source are required")
+	}
+	r := &Renewal{law: law, rng: src, h: make(procHeap, 0, p)}
+	for q := 0; q < p; q++ {
+		r.h = append(r.h, procEntry{t: law.Gap(src), proc: q})
+	}
+	heap.Init(&r.h)
+	return r, nil
+}
+
+// Next implements Source; the stream is endless.
+func (r *Renewal) Next() (Fault, bool) {
+	e := r.h[0]
+	next := e
+	next.t += r.law.Gap(r.rng)
+	r.h[0] = next
+	heap.Fix(&r.h, 0)
+	return Fault{Time: e.t, Proc: e.proc}, true
+}
+
+// Poisson is the superposition fast path valid for the exponential law
+// only: platform-level failures arrive with rate p·λ and each strikes a
+// uniformly random processor. It is statistically identical to
+// Renewal{Exponential} and cheaper for large p.
+type Poisson struct {
+	lambda float64
+	p      int
+	rng    *rng.Source
+	now    float64
+}
+
+// NewPoisson creates the superposed exponential source.
+func NewPoisson(p int, lambda float64, src *rng.Source) (*Poisson, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("failure: processor count %d must be positive", p)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("failure: rate %v must be positive (use Null for fault-free)", lambda)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("failure: rng source is required")
+	}
+	return &Poisson{lambda: lambda, p: p, rng: src}, nil
+}
+
+// Next implements Source; the stream is endless.
+func (s *Poisson) Next() (Fault, bool) {
+	s.now += s.rng.Exponential(s.lambda * float64(s.p))
+	return Fault{Time: s.now, Proc: s.rng.Intn(s.p)}, true
+}
+
+// Trace replays a recorded fault sequence.
+type Trace struct {
+	faults []Fault
+	pos    int
+}
+
+// NewTrace wraps a fault list; it must be sorted by time.
+func NewTrace(faults []Fault) (*Trace, error) {
+	for i := 1; i < len(faults); i++ {
+		if faults[i].Time < faults[i-1].Time {
+			return nil, fmt.Errorf("failure: trace not time-ordered at index %d", i)
+		}
+	}
+	return &Trace{faults: faults}, nil
+}
+
+// Next implements Source.
+func (t *Trace) Next() (Fault, bool) {
+	if t.pos >= len(t.faults) {
+		return Fault{}, false
+	}
+	f := t.faults[t.pos]
+	t.pos++
+	return f, true
+}
+
+// Rewind restarts the trace from the beginning, so one recorded sequence
+// can be replayed against several policies (common random numbers).
+func (t *Trace) Rewind() { t.pos = 0 }
+
+// Recorder wraps a Source and remembers every fault it hands out.
+type Recorder struct {
+	inner Source
+	log   []Fault
+}
+
+// NewRecorder wraps src.
+func NewRecorder(src Source) *Recorder { return &Recorder{inner: src} }
+
+// Next implements Source.
+func (r *Recorder) Next() (Fault, bool) {
+	f, ok := r.inner.Next()
+	if ok {
+		r.log = append(r.log, f)
+	}
+	return f, ok
+}
+
+// Recorded returns the faults consumed so far (shared slice; callers must
+// not mutate it).
+func (r *Recorder) Recorded() []Fault { return r.log }

@@ -1,0 +1,58 @@
+package failure
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTrace serializes faults as JSON Lines (one fault per line), the
+// interchange format of cmd/faultgen.
+func WriteTrace(w io.Writer, faults []Fault) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range faults {
+		if err := enc.Encode(&faults[i]); err != nil {
+			return fmt.Errorf("failure: encoding fault %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSON Lines fault trace and validates time ordering.
+func ReadTrace(r io.Reader) ([]Fault, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Fault
+	for {
+		var f Fault
+		if err := dec.Decode(&f); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("failure: parsing trace entry %d: %w", len(out), err)
+		}
+		if n := len(out); n > 0 && f.Time < out[n-1].Time {
+			return nil, fmt.Errorf("failure: trace not time-ordered at entry %d", n)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Collect pulls up to limit faults from src, stopping early at horizon
+// (exclusive) if horizon > 0. It is the bridge from generative sources to
+// fixed traces.
+func Collect(src Source, limit int, horizon float64) []Fault {
+	var out []Fault
+	for len(out) < limit {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		if horizon > 0 && f.Time >= horizon {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}

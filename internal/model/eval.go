@@ -1,0 +1,70 @@
+package model
+
+import "fmt"
+
+// MinEval evaluates the monotonized expected completion time of Eq. (6),
+//
+//	t^R_{i,j}(α) = min{ t^R_{i,j−2}(α), t^R_{i,j}(α) },
+//
+// i.e. the prefix-minimum of the raw Eq. (4) values over even processor
+// counts. Adding processors beyond a task's threshold increases the raw
+// expected time (more failures), and Eq. (6) caps the model at the
+// threshold so that expected time is non-increasing in j — the property
+// the greedy algorithms rely on.
+//
+// The evaluator extends its cache incrementally, so a loop scanning
+// ascending j pays O(1) amortized per step instead of O(j) per query.
+// It is bound to one (task, α) pair; allocate a fresh evaluator whenever
+// the remaining fraction α changes.
+type MinEval struct {
+	r     Resilience
+	t     Task
+	alpha float64
+	mins  []float64 // mins[k] = prefix-min of raw t^R at j = 2(k+1)
+}
+
+// NewMinEval returns an evaluator for t^R_{i,·}(α) with Eq. (6) applied.
+func NewMinEval(r Resilience, t Task, alpha float64) *MinEval {
+	return &MinEval{r: r, t: t, alpha: alpha}
+}
+
+// Alpha returns the work fraction the evaluator is bound to.
+func (e *MinEval) Alpha() float64 { return e.alpha }
+
+// At returns the monotonized expected time on j processors. j must be a
+// positive even count (the double-checkpointing buddy constraint).
+func (e *MinEval) At(j int) float64 {
+	if j < 2 || j%2 != 0 {
+		panic(fmt.Sprintf("model: MinEval.At with j=%d (want positive even)", j))
+	}
+	k := j/2 - 1
+	for len(e.mins) <= k {
+		next := 2 * (len(e.mins) + 1)
+		raw := e.r.ExpectedTimeRaw(e.t, next, e.alpha)
+		if n := len(e.mins); n > 0 && e.mins[n-1] < raw {
+			raw = e.mins[n-1]
+		}
+		e.mins = append(e.mins, raw)
+	}
+	return e.mins[k]
+}
+
+// Threshold returns the smallest even processor count in [2, maxJ] that
+// attains the minimum expected time, i.e. the point beyond which extra
+// processors stop helping. It is used by diagnostics and tests.
+func (e *MinEval) Threshold(maxJ int) int {
+	if maxJ < 2 {
+		maxJ = 2
+	}
+	if maxJ%2 != 0 {
+		maxJ--
+	}
+	best := 2
+	bestV := e.At(2)
+	for j := 4; j <= maxJ; j += 2 {
+		if v := e.At(j); v < bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,58 @@
+package model
+
+import "math"
+
+// Silent-error extension (the paper's §7 future work: "deal not only
+// with fail-stop errors, but also with silent errors. This would require
+// to add verification mechanisms").
+//
+// Model: silent data corruptions (SDC) strike a task on j processors
+// with rate SilentLambda·j. They are detected only by a verification of
+// cost V_{i,j} = Task.Verify/j appended to every work segment, right
+// before the checkpoint (the verify-then-checkpoint pattern of the
+// silent-error literature, e.g. Benoit, Cavelan, Robert et al.). A
+// corrupted segment is re-executed until it verifies clean, so with
+// q = e^{−λ_s·j·w} the expected wall time of one segment of work w is
+//
+//	E = e^{λ_s·j·w} · (w + V) + C,
+//
+// and the fail-stop expectation of Eq. (4) is applied on top with E as
+// the period-at-risk. Setting SilentLambda = 0 and Verify = 0 recovers
+// Eq. (4) exactly (a property test pins this).
+//
+// Approximations, documented: the checkpointing period stays Young's
+// (optimal for fail-stop only), and fail-stop failures during the silent
+// retries are accounted at the period granularity, first order — the
+// same order of approximation as Young's formula itself. The extension
+// affects expected times (decisions and expected-semantics end events);
+// the deterministic semantics' fault-free times deliberately exclude
+// silent retries.
+
+// SilentActive reports whether the silent-error extension is enabled.
+func (r Resilience) SilentActive() bool { return r.SilentLambda > 0 }
+
+// VerifyCost returns V_{i,j} = V_i/j, the verification time of task t on
+// j processors.
+func (r Resilience) VerifyCost(t Task, j int) float64 {
+	if j < 1 {
+		panic("model: VerifyCost with j < 1")
+	}
+	return t.Verify / float64(j)
+}
+
+// silentSegment returns the expected wall time of one work segment of
+// length w (excluding the trailing checkpoint): retries until the
+// verification passes.
+func (r Resilience) silentSegment(t Task, j int, w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	if !r.SilentActive() && t.Verify == 0 {
+		return w
+	}
+	v := r.VerifyCost(t, j)
+	if !r.SilentActive() {
+		return w + v
+	}
+	return math.Exp(r.SilentLambda*float64(j)*w) * (w + v)
+}

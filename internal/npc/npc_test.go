@@ -1,0 +1,267 @@
+package npc
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	good := ThreePartition{B: 100, A: []int{30, 30, 40, 26, 26, 48}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ThreePartition{
+		{B: 100, A: []int{30, 30}},                 // not multiple of 3
+		{B: 0, A: []int{1, 1, 1}},                  // bad B
+		{B: 100, A: []int{25, 35, 40}},             // 25 ≤ B/4
+		{B: 100, A: []int{50, 24, 26}},             // 50 ≥ B/2
+		{B: 100, A: []int{30, 30, 41, 26, 26, 48}}, // sum ≠ mB
+	}
+	for i, tp := range bad {
+		if tp.Validate() == nil {
+			t.Fatalf("bad instance %d accepted", i)
+		}
+	}
+}
+
+func TestSolveYes(t *testing.T) {
+	tp := ThreePartition{B: 100, A: []int{30, 30, 40, 26, 26, 48}}
+	triples, ok := tp.Solve()
+	if !ok {
+		t.Fatal("solver missed an obvious partition")
+	}
+	if len(triples) != 2 {
+		t.Fatalf("got %d triples, want 2", len(triples))
+	}
+	used := map[int]bool{}
+	for _, tr := range triples {
+		sum := 0
+		for _, idx := range tr {
+			if used[idx] {
+				t.Fatal("index reused across triples")
+			}
+			used[idx] = true
+			sum += tp.A[idx]
+		}
+		if sum != tp.B {
+			t.Fatalf("triple sums to %d, want %d", sum, tp.B)
+		}
+	}
+}
+
+func TestSolveNo(t *testing.T) {
+	tp := KnownNo()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tp.Solve(); ok {
+		t.Fatal("solver found a partition in a no-instance")
+	}
+}
+
+func TestRandomYesAlwaysSolvable(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + src.Intn(4)
+		tp := RandomYes(m, src)
+		if err := tp.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, ok := tp.Solve(); !ok {
+			t.Fatalf("trial %d: constructed yes-instance not solvable", trial)
+		}
+	}
+}
+
+func TestReduceShapes(t *testing.T) {
+	tp := ThreePartition{B: 100, A: []int{30, 30, 40, 26, 26, 48}}
+	red, err := Reduce(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.N != 8 || red.P != 8 {
+		t.Fatalf("reduced to n=%d p=%d, want 8/8", red.N, red.P)
+	}
+	// D = max a_i + 1 = 49.
+	if red.Deadline != 49 {
+		t.Fatalf("deadline %v, want 49", red.Deadline)
+	}
+	// Small task: t_{i,1} = a_i, t_{i,j>1} = 3a_i/4.
+	if red.Tasks[2].Time(1) != 40 || red.Tasks[2].Time(2) != 30 || red.Tasks[2].Time(7) != 30 {
+		t.Fatal("small-task profile wrong")
+	}
+	// Large task: total work 4D−B = 96; t on j ≤ 4 is 96/j.
+	large := red.Tasks[6]
+	if large.Time(1) != 96 || large.Time(2) != 48 || large.Time(4) != 24 {
+		t.Fatal("large-task profile wrong")
+	}
+	if math.Abs(large.Time(5)-2.0/9.0*96) > 1e-12 {
+		t.Fatal("beyond-threshold large-task time wrong")
+	}
+	if err := red.CheckMonotone(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceRejectsInvalid(t *testing.T) {
+	if _, err := Reduce(ThreePartition{B: 10, A: []int{1, 2, 3}}); err == nil {
+		t.Fatal("invalid 3-partition accepted")
+	}
+}
+
+// TestTheorem2Forward: a yes-instance of 3-Partition yields a schedule
+// meeting the deadline exactly — the forward direction of the proof.
+func TestTheorem2Forward(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + src.Intn(3)
+		tp := RandomYes(m, src)
+		red, err := Reduce(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		triples, ok := tp.Solve()
+		if !ok {
+			t.Fatal("yes-instance unsolvable")
+		}
+		sched, err := FromPartition(red, triples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Verify(red); err != nil {
+			t.Fatalf("trial %d: constructed schedule invalid: %v", trial, err)
+		}
+		if math.Abs(sched.Makespan()-red.Deadline) > 1e-9 {
+			t.Fatalf("trial %d: makespan %v, want exactly D = %v", trial, sched.Makespan(), red.Deadline)
+		}
+	}
+}
+
+// TestTheorem2WrongPartitionFails: feeding FromPartition triples that do
+// not sum to B must be rejected, mirroring the tightness argument of the
+// backward direction.
+func TestTheorem2WrongPartitionFails(t *testing.T) {
+	tp := ThreePartition{B: 100, A: []int{30, 30, 40, 26, 26, 48}}
+	red, _ := Reduce(tp)
+	// Swap two items across triples: sums become 96 and 104.
+	bad := [][3]int{{0, 1, 3}, {2, 4, 5}}
+	if _, err := FromPartition(red, bad); err == nil {
+		t.Fatal("unbalanced triples accepted")
+	}
+}
+
+// TestTheorem2NoInstanceHasNoConstruction: for the canonical no-instance
+// the solver finds nothing, so no Theorem-2 schedule of the constructed
+// family exists; additionally any attempted grouping must fail.
+func TestTheorem2NoInstanceHasNoConstruction(t *testing.T) {
+	tp := KnownNo()
+	red, err := Reduce(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tp.Solve(); ok {
+		t.Fatal("no-instance should have no partition")
+	}
+	// Every possible grouping of the 6 items into two triples fails.
+	idx := []int{0, 1, 2, 3, 4, 5}
+	count := 0
+	for a := 1; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			tr1 := [3]int{0, idx[a], idx[b]}
+			var rest []int
+			for _, v := range idx[1:] {
+				if v != idx[a] && v != idx[b] {
+					rest = append(rest, v)
+				}
+			}
+			tr2 := [3]int{rest[0], rest[1], rest[2]}
+			if _, err := FromPartition(red, [][3]int{tr1, tr2}); err == nil {
+				t.Fatal("a grouping of the no-instance built a valid schedule")
+			}
+			count++
+		}
+	}
+	if count != 10 {
+		t.Fatalf("enumerated %d groupings, want 10", count)
+	}
+}
+
+func TestVerifyCatchesBrokenSchedules(t *testing.T) {
+	tp := ThreePartition{B: 100, A: []int{30, 30, 40, 26, 26, 48}}
+	red, _ := Reduce(tp)
+	triples, _ := tp.Solve()
+	good, _ := FromPartition(red, triples)
+	if err := good.Verify(red); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oversubscription: everyone on 4 processors from the start.
+	over := Schedule{Phases: make([][]Phase, red.N)}
+	for i := range over.Phases {
+		over.Phases[i] = []Phase{{Start: 0, End: red.Tasks[i].Time(4), Procs: 4}}
+	}
+	if over.Verify(red) == nil {
+		t.Fatal("oversubscribed schedule accepted")
+	}
+
+	// Work shortfall: truncate a phase.
+	shortfall := Schedule{Phases: make([][]Phase, red.N)}
+	for i := range shortfall.Phases {
+		shortfall.Phases[i] = append([]Phase(nil), good.Phases[i]...)
+	}
+	last := &shortfall.Phases[0][len(shortfall.Phases[0])-1]
+	last.End -= 1
+	if shortfall.Verify(red) == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+
+	// Gap between phases.
+	gap := Schedule{Phases: make([][]Phase, red.N)}
+	for i := range gap.Phases {
+		gap.Phases[i] = append([]Phase(nil), good.Phases[i]...)
+	}
+	li := red.N - 1
+	if len(gap.Phases[li]) > 1 {
+		gap.Phases[li][1].Start += 0.5
+		if gap.Verify(red) == nil {
+			t.Fatal("gapped schedule accepted")
+		}
+	}
+
+	// Wrong task count.
+	if (Schedule{Phases: good.Phases[:3]}).Verify(red) == nil {
+		t.Fatal("truncated schedule accepted")
+	}
+}
+
+func TestMakespanEmpty(t *testing.T) {
+	if (Schedule{}).Makespan() != 0 {
+		t.Fatal("empty schedule should have zero makespan")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	tp := ThreePartition{B: 100, A: []int{48, 26, 26, 40, 30, 30}}
+	s := tp.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatal("Sorted not ascending")
+		}
+	}
+	if tp.A[0] != 48 {
+		t.Fatal("Sorted mutated the instance")
+	}
+}
+
+func BenchmarkSolveM3(b *testing.B) {
+	src := rng.New(5)
+	tp := RandomYes(3, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tp.Solve(); !ok {
+			b.Fatal("unsolvable")
+		}
+	}
+}

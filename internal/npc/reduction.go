@@ -1,0 +1,226 @@
+package npc
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/model"
+)
+
+// Reduced is the scheduling instance built from a 3-Partition instance by
+// the Theorem-2 reduction: n = 4m malleable tasks on p = 4m processors,
+// no failures, zero redistribution cost, deadline D = max a_i + 1.
+//
+//   - Small task i (0 ≤ i < 3m): t_{i,1} = a_i and t_{i,j} = 3a_i/4 for
+//     j > 1 (using more than one processor strictly increases the work).
+//   - Large task 3m+k (0 ≤ k < m): t_{i,j} = (4D−B)/j for j ≤ 4 and
+//     t_{i,j} = (2/9)(4D−B) for j > 4 (total work 4D−B up to four
+//     processors, strictly more beyond).
+//
+// The instance is a yes-instance of the scheduling problem (makespan ≤ D
+// with redistributions allowed at task ends) iff the 3-Partition instance
+// is a yes-instance.
+type Reduced struct {
+	Source   ThreePartition
+	N, P     int
+	Deadline float64
+	Tasks    []model.Task
+}
+
+// Reduce builds the Theorem-2 instance.
+func Reduce(tp ThreePartition) (Reduced, error) {
+	if err := tp.Validate(); err != nil {
+		return Reduced{}, err
+	}
+	m := tp.M()
+	n := 4 * m
+	maxA := 0
+	for _, a := range tp.A {
+		if a > maxA {
+			maxA = a
+		}
+	}
+	d := float64(maxA + 1)
+	large := 4*d - float64(tp.B) // total work of a large task on ≤ 4 procs
+	red := Reduced{Source: tp, N: n, P: n, Deadline: d}
+	for i, a := range tp.A {
+		times := make([]float64, n)
+		times[0] = float64(a)
+		for j := 2; j <= n; j++ {
+			times[j-1] = 3 * float64(a) / 4
+		}
+		red.Tasks = append(red.Tasks, model.Task{ID: i, Profile: model.Table{Times: times}})
+	}
+	for k := 0; k < m; k++ {
+		times := make([]float64, n)
+		for j := 1; j <= 4 && j <= n; j++ {
+			times[j-1] = large / float64(j)
+		}
+		for j := 5; j <= n; j++ {
+			times[j-1] = 2.0 / 9.0 * large
+		}
+		red.Tasks = append(red.Tasks, model.Task{ID: 3*m + k, Profile: model.Table{Times: times}})
+	}
+	return red, nil
+}
+
+// CheckMonotone verifies the two structural assumptions the proof relies
+// on: execution times non-increasing in j and work j·t_{i,j}
+// non-decreasing in j, for every task of the reduced instance.
+func (r Reduced) CheckMonotone() error {
+	for i, task := range r.Tasks {
+		prevT := task.Time(1)
+		prevW := prevT
+		for j := 2; j <= r.P; j++ {
+			t := task.Time(j)
+			w := float64(j) * t
+			if t > prevT+1e-9 {
+				return fmt.Errorf("npc: task %d time increases at j=%d", i, j)
+			}
+			if w < prevW-1e-9 {
+				return fmt.Errorf("npc: task %d work decreases at j=%d", i, j)
+			}
+			prevT, prevW = t, w
+		}
+	}
+	return nil
+}
+
+// Phase is a constant-allocation stretch of one task's execution.
+type Phase struct {
+	Start, End float64
+	Procs      int
+}
+
+// Schedule is a malleable schedule: one phase list per task. Phases of a
+// task must be contiguous in time; the schedule is valid when processors
+// are conserved at every instant and every task completes exactly its
+// work (∫ dt / t_{i,j(t)} = 1).
+type Schedule struct {
+	Phases [][]Phase
+}
+
+// Makespan returns the latest phase end.
+func (s Schedule) Makespan() float64 {
+	worst := 0.0
+	for _, ph := range s.Phases {
+		if n := len(ph); n > 0 && ph[n-1].End > worst {
+			worst = ph[n-1].End
+		}
+	}
+	return worst
+}
+
+// Verify checks the schedule against the reduced instance: phase shape,
+// processor conservation at every instant, and exact work completion.
+func (s Schedule) Verify(r Reduced) error {
+	if len(s.Phases) != r.N {
+		return fmt.Errorf("npc: schedule covers %d tasks, instance has %d", len(s.Phases), r.N)
+	}
+	var cuts []float64
+	for i, ph := range s.Phases {
+		if len(ph) == 0 {
+			return fmt.Errorf("npc: task %d has no phases", i)
+		}
+		for k, p := range ph {
+			if p.Procs < 1 {
+				return fmt.Errorf("npc: task %d phase %d uses %d processors", i, k, p.Procs)
+			}
+			if p.End <= p.Start {
+				return fmt.Errorf("npc: task %d phase %d is empty or reversed", i, k)
+			}
+			if k > 0 && p.Start != ph[k-1].End {
+				return fmt.Errorf("npc: task %d has a gap before phase %d", i, k)
+			}
+			cuts = append(cuts, p.Start, p.End)
+		}
+		// Work completion: Σ duration/t_{i,procs} must equal 1.
+		work := 0.0
+		for _, p := range ph {
+			work += (p.End - p.Start) / r.Tasks[i].Time(p.Procs)
+		}
+		if work < 1-1e-9 || work > 1+1e-9 {
+			return fmt.Errorf("npc: task %d completes %.12f of its work", i, work)
+		}
+	}
+	// Processor conservation on every elementary interval.
+	uniq := dedupSorted(cuts)
+	for k := 0; k+1 < len(uniq); k++ {
+		mid := (uniq[k] + uniq[k+1]) / 2
+		used := 0
+		for _, ph := range s.Phases {
+			for _, p := range ph {
+				if p.Start <= mid && mid < p.End {
+					used += p.Procs
+				}
+			}
+		}
+		if used > r.P {
+			return fmt.Errorf("npc: %d processors used at t=%v, platform has %d", used, mid, r.P)
+		}
+	}
+	return nil
+}
+
+func dedupSorted(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// FromPartition builds the constructive schedule of the Theorem-2 proof:
+// every task starts on one processor; when small task a finishes at time
+// a, its processor joins the large task of its triple, which therefore
+// ramps 1 → 2 → 3 → 4 processors and finishes exactly at the deadline D.
+func FromPartition(r Reduced, triples [][3]int) (Schedule, error) {
+	m := r.Source.M()
+	if len(triples) != m {
+		return Schedule{}, fmt.Errorf("npc: %d triples for m = %d", len(triples), m)
+	}
+	s := Schedule{Phases: make([][]Phase, r.N)}
+	seen := make([]bool, 3*m)
+	for k, tr := range triples {
+		// Small tasks of the triple run alone to completion.
+		ends := make([]float64, 0, 3)
+		sum := 0
+		for _, idx := range tr[:] {
+			if idx < 0 || idx >= 3*m || seen[idx] {
+				return Schedule{}, fmt.Errorf("npc: triple %d reuses or exceeds small-task indices", k)
+			}
+			seen[idx] = true
+			a := float64(r.Source.A[idx])
+			s.Phases[idx] = []Phase{{Start: 0, End: a, Procs: 1}}
+			ends = append(ends, a)
+			sum += r.Source.A[idx]
+		}
+		if sum != r.Source.B {
+			return Schedule{}, fmt.Errorf("npc: triple %d sums to %d, want B = %d", k, sum, r.Source.B)
+		}
+		sort.Float64s(ends)
+		// The large task ramps up at each small-task completion.
+		largeIdx := 3*m + k
+		var ph []Phase
+		prev := 0.0
+		procs := 1
+		for _, e := range ends {
+			if e > prev {
+				ph = append(ph, Phase{Start: prev, End: e, Procs: procs})
+				prev = e
+			}
+			procs++
+		}
+		ph = append(ph, Phase{Start: prev, End: r.Deadline, Procs: procs})
+		s.Phases[largeIdx] = ph
+	}
+	return s, nil
+}

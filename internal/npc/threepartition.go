@@ -1,0 +1,135 @@
+// Package npc implements the complexity-results machinery of §4 of the
+// paper: 3-Partition instances, the Theorem-2 reduction from 3-Partition
+// to redistribution scheduling, a malleable-schedule verifier, and the
+// constructive schedule of the proof. It is used to validate the
+// reduction experimentally and to cross-check Algorithm 1's optimality
+// claims (Theorem 1) against exhaustive search.
+package npc
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/rng"
+)
+
+// ThreePartition is an instance of the strongly NP-complete 3-Partition
+// problem: 3m positive integers a_1..a_3m with B/4 < a_i < B/2 and
+// Σa_i = m·B. The question is whether they can be split into m triples
+// each summing to B.
+type ThreePartition struct {
+	B int
+	A []int
+}
+
+// M returns the number of triples m.
+func (tp ThreePartition) M() int { return len(tp.A) / 3 }
+
+// Validate checks the structural constraints of a 3-Partition instance.
+func (tp ThreePartition) Validate() error {
+	if len(tp.A) == 0 || len(tp.A)%3 != 0 {
+		return fmt.Errorf("npc: item count %d is not a positive multiple of 3", len(tp.A))
+	}
+	if tp.B <= 0 {
+		return fmt.Errorf("npc: bound B = %d must be positive", tp.B)
+	}
+	sum := 0
+	for i, a := range tp.A {
+		if 4*a <= tp.B || 2*a >= tp.B {
+			return fmt.Errorf("npc: item %d = %d violates B/4 < a < B/2 (B = %d)", i, a, tp.B)
+		}
+		sum += a
+	}
+	if sum != tp.M()*tp.B {
+		return fmt.Errorf("npc: items sum to %d, want m·B = %d", sum, tp.M()*tp.B)
+	}
+	return nil
+}
+
+// Solve searches exhaustively for a valid partition and returns the
+// triples as index triplets. It is exponential and intended for the
+// small instances used in tests (3m ≲ 18).
+func (tp ThreePartition) Solve() ([][3]int, bool) {
+	n := len(tp.A)
+	if n == 0 || n%3 != 0 {
+		return nil, false
+	}
+	used := make([]bool, n)
+	var out [][3]int
+	var rec func() bool
+	rec = func() bool {
+		// First unused index anchors the next triple, killing symmetry.
+		first := -1
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			return true
+		}
+		used[first] = true
+		for j := first + 1; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			need := tp.B - tp.A[first] - tp.A[j]
+			for k := j + 1; k < n; k++ {
+				if used[k] || tp.A[k] != need {
+					continue
+				}
+				used[k] = true
+				out = append(out, [3]int{first, j, k})
+				if rec() {
+					return true
+				}
+				out = out[:len(out)-1]
+				used[k] = false
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	if rec() {
+		return out, true
+	}
+	return nil, false
+}
+
+// RandomYes builds a random yes-instance with m triples: each triple is
+// sampled directly so a partition exists by construction. B is chosen
+// large enough that the open interval (B/4, B/2) has room.
+func RandomYes(m int, src *rng.Source) ThreePartition {
+	const b = 1000 // plenty of integer room in (250, 500)
+	items := make([]int, 0, 3*m)
+	for k := 0; k < m; k++ {
+		for {
+			// x, y uniform in (B/4, B/2); accept when z = B−x−y fits too.
+			x := b/4 + 1 + src.Intn(b/4-1)
+			y := b/4 + 1 + src.Intn(b/4-1)
+			z := b - x - y
+			if 4*z > b && 2*z < b {
+				items = append(items, x, y, z)
+				break
+			}
+		}
+	}
+	src.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return ThreePartition{B: b, A: items}
+}
+
+// KnownNo returns a fixed, structurally valid no-instance with m = 2:
+// no triple of {27,27,27,39,40,40} sums to B = 100.
+func KnownNo() ThreePartition {
+	return ThreePartition{B: 100, A: []int{27, 27, 27, 39, 40, 40}}
+}
+
+// Sorted returns the items in ascending order (helper for display).
+func (tp ThreePartition) Sorted() []int {
+	out := append([]int(nil), tp.A...)
+	sort.Ints(out)
+	return out
+}

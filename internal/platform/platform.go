@@ -1,0 +1,211 @@
+// Package platform models the execution platform: p identical processors
+// allocated to tasks at the granularity of buddy pairs, as required by the
+// double-checkpointing algorithm (§3.1 of the paper: "the number of
+// processors assigned to each task must be even").
+//
+// Processors are numbered 0..p−1; pair k owns processors 2k and 2k+1, and
+// the buddy of processor q is q XOR 1. The allocator keeps the processor →
+// task ownership map the failure simulator needs to attribute a strike,
+// and enforces conservation and evenness invariants.
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Free marks an unowned processor in ownership queries.
+const Free = -1
+
+// Platform is a pair-granular processor allocator. It is not safe for
+// concurrent use; the simulation engine is single-threaded by design
+// (discrete-event), and experiment-level parallelism uses one Platform
+// per goroutine.
+type Platform struct {
+	p      int
+	owner  []int         // processor -> task ID, or Free
+	free   []int         // stack of free pair indices
+	byTask map[int][]int // task ID -> owned pair indices, allocation order
+}
+
+// New creates a platform with p processors. p must be positive and even.
+func New(p int) (*Platform, error) {
+	if p <= 0 || p%2 != 0 {
+		return nil, fmt.Errorf("platform: processor count %d must be positive and even", p)
+	}
+	pl := &Platform{
+		p:      p,
+		owner:  make([]int, p),
+		free:   make([]int, 0, p/2),
+		byTask: make(map[int][]int),
+	}
+	for i := range pl.owner {
+		pl.owner[i] = Free
+	}
+	// Push pairs in reverse so allocation hands out low indices first.
+	for k := p/2 - 1; k >= 0; k-- {
+		pl.free = append(pl.free, k)
+	}
+	return pl, nil
+}
+
+// P returns the total number of processors.
+func (pl *Platform) P() int { return pl.p }
+
+// FreeProcs returns the number of unallocated processors.
+func (pl *Platform) FreeProcs() int { return 2 * len(pl.free) }
+
+// Count returns the number of processors currently owned by the task.
+func (pl *Platform) Count(task int) int { return 2 * len(pl.byTask[task]) }
+
+// Owner returns the task owning processor q, or Free.
+func (pl *Platform) Owner(q int) int {
+	if q < 0 || q >= pl.p {
+		panic(fmt.Sprintf("platform: processor %d out of range [0,%d)", q, pl.p))
+	}
+	return pl.owner[q]
+}
+
+// Buddy returns the buddy processor of q (double-checkpointing partner).
+func Buddy(q int) int { return q ^ 1 }
+
+// Alloc grants count processors (count even, > 0) to the task and returns
+// the granted processor IDs in ascending order.
+func (pl *Platform) Alloc(task, count int) ([]int, error) {
+	if task < 0 {
+		return nil, fmt.Errorf("platform: invalid task ID %d", task)
+	}
+	if count <= 0 || count%2 != 0 {
+		return nil, fmt.Errorf("platform: allocation of %d processors must be positive and even", count)
+	}
+	pairs := count / 2
+	if pairs > len(pl.free) {
+		return nil, fmt.Errorf("platform: requested %d processors, only %d free", count, pl.FreeProcs())
+	}
+	granted := make([]int, 0, count)
+	for i := 0; i < pairs; i++ {
+		k := pl.free[len(pl.free)-1]
+		pl.free = pl.free[:len(pl.free)-1]
+		pl.byTask[task] = append(pl.byTask[task], k)
+		pl.owner[2*k] = task
+		pl.owner[2*k+1] = task
+		granted = append(granted, 2*k, 2*k+1)
+	}
+	sort.Ints(granted)
+	return granted, nil
+}
+
+// Release takes count processors (count even, > 0) away from the task
+// (most recently allocated pairs first) and returns the released IDs in
+// ascending order.
+func (pl *Platform) Release(task, count int) ([]int, error) {
+	if count <= 0 || count%2 != 0 {
+		return nil, fmt.Errorf("platform: release of %d processors must be positive and even", count)
+	}
+	pairs := count / 2
+	owned := pl.byTask[task]
+	if pairs > len(owned) {
+		return nil, fmt.Errorf("platform: task %d owns %d processors, cannot release %d", task, 2*len(owned), count)
+	}
+	released := make([]int, 0, count)
+	for i := 0; i < pairs; i++ {
+		k := owned[len(owned)-1]
+		owned = owned[:len(owned)-1]
+		pl.free = append(pl.free, k)
+		pl.owner[2*k] = Free
+		pl.owner[2*k+1] = Free
+		released = append(released, 2*k, 2*k+1)
+	}
+	if len(owned) == 0 {
+		delete(pl.byTask, task)
+	} else {
+		pl.byTask[task] = owned
+	}
+	sort.Ints(released)
+	return released, nil
+}
+
+// ReleaseAll frees every processor owned by the task and returns the
+// released IDs in ascending order (nil if the task owned none).
+func (pl *Platform) ReleaseAll(task int) []int {
+	n := pl.Count(task)
+	if n == 0 {
+		return nil
+	}
+	released, err := pl.Release(task, n)
+	if err != nil {
+		// Unreachable: Count(task) processors are owned by construction.
+		panic(err)
+	}
+	return released
+}
+
+// Resize changes the task's allocation to exactly count processors,
+// allocating or releasing as needed. It returns the processors added and
+// removed (one of the two is always empty).
+func (pl *Platform) Resize(task, count int) (added, removed []int, err error) {
+	if count < 0 || count%2 != 0 {
+		return nil, nil, fmt.Errorf("platform: target allocation %d must be non-negative and even", count)
+	}
+	cur := pl.Count(task)
+	switch {
+	case count > cur:
+		added, err = pl.Alloc(task, count-cur)
+	case count < cur:
+		removed, err = pl.Release(task, cur-count)
+	}
+	return added, removed, err
+}
+
+// Procs returns the processors owned by the task in ascending order.
+func (pl *Platform) Procs(task int) []int {
+	pairs := pl.byTask[task]
+	procs := make([]int, 0, 2*len(pairs))
+	for _, k := range pairs {
+		procs = append(procs, 2*k, 2*k+1)
+	}
+	sort.Ints(procs)
+	return procs
+}
+
+// Tasks returns the IDs of tasks holding at least one processor, sorted.
+func (pl *Platform) Tasks() []int {
+	ids := make([]int, 0, len(pl.byTask))
+	for id := range pl.byTask {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Validate checks the internal invariants: pair-aligned ownership, buddy
+// consistency, and conservation (owned + free == p). It is used by tests
+// and can be enabled as a paranoia check inside the engine.
+func (pl *Platform) Validate() error {
+	owned := 0
+	for k := 0; k < pl.p/2; k++ {
+		a, b := pl.owner[2*k], pl.owner[2*k+1]
+		if a != b {
+			return fmt.Errorf("platform: pair %d split between owners %d and %d", k, a, b)
+		}
+		if a != Free {
+			owned += 2
+		}
+	}
+	if owned+2*len(pl.free) != pl.p {
+		return fmt.Errorf("platform: conservation broken: %d owned + %d free != %d", owned, 2*len(pl.free), pl.p)
+	}
+	total := 0
+	for task, pairs := range pl.byTask {
+		for _, k := range pairs {
+			if pl.owner[2*k] != task {
+				return fmt.Errorf("platform: task %d claims pair %d owned by %d", task, k, pl.owner[2*k])
+			}
+		}
+		total += 2 * len(pairs)
+	}
+	if total != owned {
+		return fmt.Errorf("platform: byTask total %d != owner map total %d", total, owned)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/rng"
+)
+
+func mustNew(t *testing.T, p int) *Platform {
+	t.Helper()
+	pl, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, p := range []int{0, -2, 3, 7} {
+		if _, err := New(p); err == nil {
+			t.Fatalf("New(%d) should fail", p)
+		}
+	}
+	pl := mustNew(t, 8)
+	if pl.P() != 8 || pl.FreeProcs() != 8 {
+		t.Fatalf("fresh platform wrong: P=%d free=%d", pl.P(), pl.FreeProcs())
+	}
+}
+
+func TestAllocBasics(t *testing.T) {
+	pl := mustNew(t, 8)
+	got, err := pl.Alloc(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("granted %d processors, want 4", len(got))
+	}
+	if pl.Count(1) != 4 || pl.FreeProcs() != 4 {
+		t.Fatalf("counts wrong: task=%d free=%d", pl.Count(1), pl.FreeProcs())
+	}
+	for _, q := range got {
+		if pl.Owner(q) != 1 {
+			t.Fatalf("processor %d not owned by task 1", q)
+		}
+		if pl.Owner(Buddy(q)) != 1 {
+			t.Fatalf("buddy of %d not co-allocated", q)
+		}
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	pl := mustNew(t, 4)
+	if _, err := pl.Alloc(0, 3); err == nil {
+		t.Fatal("odd allocation accepted")
+	}
+	if _, err := pl.Alloc(0, 0); err == nil {
+		t.Fatal("zero allocation accepted")
+	}
+	if _, err := pl.Alloc(-1, 2); err == nil {
+		t.Fatal("negative task ID accepted")
+	}
+	if _, err := pl.Alloc(0, 6); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	// Failed allocation must not leak pairs.
+	if pl.FreeProcs() != 4 {
+		t.Fatalf("failed alloc leaked processors: free=%d", pl.FreeProcs())
+	}
+}
+
+func TestReleaseLIFO(t *testing.T) {
+	pl := mustNew(t, 8)
+	first, _ := pl.Alloc(2, 2)
+	second, _ := pl.Alloc(2, 2)
+	released, err := pl.Release(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released[0] != second[0] || released[1] != second[1] {
+		t.Fatalf("release not LIFO: got %v, want %v", released, second)
+	}
+	if pl.Owner(first[0]) != 2 {
+		t.Fatal("first pair should remain owned")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	pl := mustNew(t, 4)
+	pl.Alloc(1, 2)
+	if _, err := pl.Release(1, 4); err == nil {
+		t.Fatal("over-release accepted")
+	}
+	if _, err := pl.Release(1, 1); err == nil {
+		t.Fatal("odd release accepted")
+	}
+	if _, err := pl.Release(9, 2); err == nil {
+		t.Fatal("release from unknown task accepted")
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	pl := mustNew(t, 12)
+	pl.Alloc(3, 6)
+	released := pl.ReleaseAll(3)
+	if len(released) != 6 {
+		t.Fatalf("ReleaseAll returned %d processors, want 6", len(released))
+	}
+	if pl.Count(3) != 0 || pl.FreeProcs() != 12 {
+		t.Fatal("ReleaseAll did not free everything")
+	}
+	if pl.ReleaseAll(3) != nil {
+		t.Fatal("ReleaseAll on empty task should return nil")
+	}
+}
+
+func TestResize(t *testing.T) {
+	pl := mustNew(t, 16)
+	added, removed, err := pl.Resize(5, 6)
+	if err != nil || len(added) != 6 || len(removed) != 0 {
+		t.Fatalf("grow resize wrong: %v %v %v", added, removed, err)
+	}
+	added, removed, err = pl.Resize(5, 2)
+	if err != nil || len(added) != 0 || len(removed) != 4 {
+		t.Fatalf("shrink resize wrong: %v %v %v", added, removed, err)
+	}
+	added, removed, err = pl.Resize(5, 2)
+	if err != nil || len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("no-op resize wrong: %v %v %v", added, removed, err)
+	}
+	if _, _, err := pl.Resize(5, 3); err == nil {
+		t.Fatal("odd resize accepted")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcsSortedAndConsistent(t *testing.T) {
+	pl := mustNew(t, 10)
+	pl.Alloc(7, 6)
+	procs := pl.Procs(7)
+	if len(procs) != 6 {
+		t.Fatalf("Procs returned %d, want 6", len(procs))
+	}
+	for i := 1; i < len(procs); i++ {
+		if procs[i] <= procs[i-1] {
+			t.Fatal("Procs not sorted ascending")
+		}
+	}
+	for _, q := range procs {
+		if pl.Owner(q) != 7 {
+			t.Fatal("Procs/Owner mismatch")
+		}
+	}
+}
+
+func TestTasks(t *testing.T) {
+	pl := mustNew(t, 12)
+	pl.Alloc(4, 2)
+	pl.Alloc(1, 2)
+	pl.Alloc(9, 2)
+	got := pl.Tasks()
+	want := []int{1, 4, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Tasks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tasks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOwnerPanicsOutOfRange(t *testing.T) {
+	pl := mustNew(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Owner did not panic")
+		}
+	}()
+	pl.Owner(4)
+}
+
+func TestBuddyInvolution(t *testing.T) {
+	for q := 0; q < 100; q++ {
+		if Buddy(Buddy(q)) != q {
+			t.Fatalf("buddy not an involution at %d", q)
+		}
+		if Buddy(q) == q {
+			t.Fatalf("processor %d is its own buddy", q)
+		}
+		if Buddy(q)/2 != q/2 {
+			t.Fatalf("buddy of %d outside its pair", q)
+		}
+	}
+}
+
+// TestRandomWorkloadInvariants drives random alloc/release/resize traffic
+// and checks conservation after every step.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	src := rng.New(123)
+	err := quick.Check(func(seed uint64) bool {
+		src.Reseed(seed)
+		p := (src.Intn(20) + 2) * 2
+		pl, err := New(p)
+		if err != nil {
+			return false
+		}
+		nTasks := src.Intn(6) + 1
+		for step := 0; step < 200; step++ {
+			task := src.Intn(nTasks)
+			switch src.Intn(3) {
+			case 0:
+				want := (src.Intn(4) + 1) * 2
+				if want <= pl.FreeProcs() {
+					if _, err := pl.Alloc(task, want); err != nil {
+						return false
+					}
+				}
+			case 1:
+				if c := pl.Count(task); c > 0 {
+					drop := (src.Intn(c/2) + 1) * 2
+					if _, err := pl.Release(task, drop); err != nil {
+						return false
+					}
+				}
+			case 2:
+				target := src.Intn(pl.FreeProcs()/2+pl.Count(task)/2+1) * 2
+				if _, _, err := pl.Resize(task, target); err != nil {
+					return false
+				}
+			}
+			if err := pl.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocRelease(b *testing.B) {
+	pl, _ := New(4096)
+	for i := 0; i < b.N; i++ {
+		pl.Alloc(1, 64)
+		pl.Release(1, 64)
+	}
+}

@@ -1,0 +1,138 @@
+// Package plot renders the experiment tables as terminal (ASCII) charts
+// and standalone SVG files, with no dependencies beyond the standard
+// library. It exists so that every figure of the paper can be regenerated
+// and eyeballed straight from the CLI.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cosched/internal/stats"
+)
+
+// Markers assigns one rune per series, cycling if there are many.
+var Markers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// ASCII renders the table as a width×height character chart with axes,
+// tick labels and a legend. Series points are linearly interpolated on
+// the x grid and drawn with per-series markers; later series overdraw
+// earlier ones on collisions.
+func ASCII(t *stats.Table, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(t.X) == 0 || len(t.Series) == 0 {
+		return "(empty table)\n"
+	}
+	xmin, xmax := minMax(t.X)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		lo, hi := minMax(s.Y)
+		ymin, ymax = math.Min(ymin, lo), math.Max(ymax, hi)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom keeps curves off the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, s := range t.Series {
+		marker := Markers[si%len(Markers)]
+		// Draw line segments between consecutive points.
+		for k := 0; k+1 < len(t.X); k++ {
+			c0, r0 := toCol(t.X[k]), toRow(s.Y[k])
+			c1, r1 := toCol(t.X[k+1]), toRow(s.Y[k+1])
+			drawSegment(grid, c0, r0, c1, r1, marker)
+		}
+		if len(t.X) == 1 {
+			grid[toRow(s.Y[0])][toCol(t.X[0])] = marker
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	for r := 0; r < height; r++ {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%10.3g", ymax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%10.3g", ymin)
+		} else if r == height/2 {
+			label = fmt.Sprintf("%10.3g", ymax-(ymax-ymin)*float64(r)/float64(height-1))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 10), width/2, xmin, width-width/2, xmax)
+	if t.XLabel != "" || t.YLabel != "" {
+		fmt.Fprintf(&b, "%12s x: %s   y: %s\n", "", t.XLabel, t.YLabel)
+	}
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "%12s %c %s\n", "", Markers[si%len(Markers)], s.Name)
+	}
+	return b.String()
+}
+
+// drawSegment rasterizes a line segment with the given marker.
+func drawSegment(grid [][]rune, c0, r0, c1, r1 int, marker rune) {
+	steps := max(abs(c1-c0), abs(r1-r0))
+	if steps == 0 {
+		grid[r0][c0] = marker
+		return
+	}
+	for s := 0; s <= steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		grid[r][c] = marker
+	}
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GanttRow is one task's allocation step function: Procs[i] processors
+// from Times[i] until Times[i+1] (or the end of the run). A Procs value
+// of 0 means the task has finished.
+type GanttRow struct {
+	Label string
+	Times []float64
+	Procs []int
+}
+
+// GanttSVG renders task allocations over time as horizontal bands whose
+// thickness is proportional to the processor count — the visual form of
+// the paper's Figure 1 (redistribution at the end of a task). The
+// returned document is standalone SVG.
+func GanttSVG(rows []GanttRow, width, rowHeight int) string {
+	if width < 300 {
+		width = 300
+	}
+	if rowHeight < 24 {
+		rowHeight = 24
+	}
+	const (
+		marginL = 90
+		marginR = 30
+		marginT = 34
+		marginB = 40
+	)
+	height := marginT + marginB + rowHeight*len(rows)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">Processor allocation over time</text>`+"\n", marginL)
+
+	end := 0.0
+	maxProcs := 1
+	for _, r := range rows {
+		if n := len(r.Times); n > 0 && r.Times[n-1] > end {
+			end = r.Times[n-1]
+		}
+		for _, p := range r.Procs {
+			if p > maxProcs {
+				maxProcs = p
+			}
+		}
+	}
+	if end == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">no data</text></svg>`+"\n",
+			marginL, height/2)
+		return b.String()
+	}
+	plotW := float64(width - marginL - marginR)
+	px := func(t float64) float64 { return float64(marginL) + t/end*plotW }
+
+	for ri, r := range rows {
+		y := marginT + ri*rowHeight
+		mid := float64(y) + float64(rowHeight)/2
+		color := Palette[ri%len(Palette)]
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, mid+4, escape(r.Label))
+		for i := 0; i < len(r.Times); i++ {
+			procs := r.Procs[i]
+			if procs <= 0 {
+				continue
+			}
+			t0 := r.Times[i]
+			t1 := end
+			if i+1 < len(r.Times) {
+				t1 = r.Times[i+1]
+			}
+			if t1 <= t0 {
+				continue
+			}
+			// Band thickness encodes the processor count.
+			thick := math.Max(2, float64(rowHeight-8)*float64(procs)/float64(maxProcs))
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.8">`+
+				`<title>%s: %d procs [%.0f, %.0f)</title></rect>`+"\n",
+				px(t0), mid-thick/2, px(t1)-px(t0), thick, color, escape(r.Label), procs, t0, t1)
+		}
+	}
+
+	// Time axis with 5 ticks.
+	axisY := height - marginB + 6
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, axisY, width-marginR, axisY)
+	for k := 0; k <= 4; k++ {
+		t := end * float64(k) / 4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px(t), axisY, px(t), axisY+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			px(t), axisY+18, t)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">time (s)</text>`+"\n",
+		marginL+int(plotW/2), height-6)
+	b.WriteString("</svg>\n")
+	return b.String()
+}

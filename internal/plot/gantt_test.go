@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleRows() []GanttRow {
+	return []GanttRow{
+		{Label: "task 0", Times: []float64{0, 100, 250}, Procs: []int{4, 6, 0}},
+		{Label: "task 1", Times: []float64{0, 100}, Procs: []int{2, 0}},
+	}
+}
+
+func TestGanttSVGStructure(t *testing.T) {
+	out := GanttSVG(sampleRows(), 600, 30)
+	for _, want := range []string{"<svg", "</svg>", "task 0", "task 1", "time (s)", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q", want)
+		}
+	}
+	// Three visible bands: task0 ×2 (4 then 6 procs), task1 ×1; plus the
+	// background rect.
+	if got := strings.Count(out, "<rect"); got != 4 {
+		t.Fatalf("want 4 rects, got %d", got)
+	}
+	// Tooltips carry the allocation.
+	if !strings.Contains(out, "6 procs") {
+		t.Fatal("tooltip with processor count missing")
+	}
+}
+
+func TestGanttSVGEmpty(t *testing.T) {
+	out := GanttSVG(nil, 400, 30)
+	if !strings.Contains(out, "no data") || !strings.Contains(out, "</svg>") {
+		t.Fatal("empty gantt should render a notice and close the document")
+	}
+}
+
+func TestGanttSVGZeroDurationBandsSkipped(t *testing.T) {
+	rows := []GanttRow{{Label: "t", Times: []float64{0, 0, 50}, Procs: []int{2, 4, 0}}}
+	out := GanttSVG(rows, 400, 30)
+	// Only the 4-proc band survives (plus background).
+	if got := strings.Count(out, "<rect"); got != 2 {
+		t.Fatalf("want 2 rects, got %d", got)
+	}
+}
+
+func TestGanttSVGDeterministic(t *testing.T) {
+	if GanttSVG(sampleRows(), 600, 30) != GanttSVG(sampleRows(), 600, 30) {
+		t.Fatal("gantt output not deterministic")
+	}
+}
+
+func TestGanttSVGEscapesLabels(t *testing.T) {
+	rows := []GanttRow{{Label: "a<b>", Times: []float64{0, 10}, Procs: []int{2, 0}}}
+	out := GanttSVG(rows, 400, 30)
+	if strings.Contains(out, "a<b>") {
+		t.Fatal("label not escaped")
+	}
+}

@@ -1,0 +1,133 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"cosched/internal/stats"
+)
+
+func sampleTable() *stats.Table {
+	t := &stats.Table{
+		Title:  "Sample",
+		XLabel: "#procs",
+		YLabel: "normalized time",
+		X:      []float64{100, 200, 300, 400},
+	}
+	t.AddSeries("base", []float64{1, 1, 1, 1})
+	t.AddSeries("heuristic", []float64{0.6, 0.7, 0.8, 0.9})
+	return t
+}
+
+func TestASCIIContainsStructure(t *testing.T) {
+	out := ASCII(sampleTable(), 60, 15)
+	if !strings.Contains(out, "Sample") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "base") || !strings.Contains(out, "heuristic") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("series markers missing")
+	}
+	if !strings.Contains(out, "#procs") {
+		t.Fatal("axis label missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabels + labels line + 2 legend lines
+	if len(lines) < 15 {
+		t.Fatalf("chart suspiciously short: %d lines", len(lines))
+	}
+}
+
+func TestASCIIEmptyTable(t *testing.T) {
+	out := ASCII(&stats.Table{}, 40, 10)
+	if !strings.Contains(out, "empty") {
+		t.Fatal("empty table should render a notice")
+	}
+}
+
+func TestASCIISinglePoint(t *testing.T) {
+	tab := &stats.Table{X: []float64{5}}
+	tab.AddSeries("only", []float64{2})
+	out := ASCII(tab, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestASCIIFlatSeries(t *testing.T) {
+	tab := &stats.Table{X: []float64{1, 2, 3}}
+	tab.AddSeries("flat", []float64{4, 4, 4})
+	out := ASCII(tab, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestASCIIMinimumDimensions(t *testing.T) {
+	out := ASCII(sampleTable(), 1, 1)
+	if len(out) == 0 {
+		t.Fatal("degenerate dimensions should still render")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := SVG(sampleTable(), 640, 400)
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "<circle", "Sample", "heuristic", "#procs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	// 4 points per series.
+	if strings.Count(out, "<circle") != 8 {
+		t.Fatalf("want 8 circles, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	tab := &stats.Table{Title: `a<b&"c"`, X: []float64{1, 2}}
+	tab.AddSeries("s<1>", []float64{1, 2})
+	out := SVG(tab, 300, 200)
+	if strings.Contains(out, "a<b") || strings.Contains(out, "s<1>") {
+		t.Fatal("labels not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b&amp;") {
+		t.Fatal("escape output wrong")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	out := SVG(&stats.Table{}, 300, 200)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty SVG should carry a notice")
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("document not closed")
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	a := SVG(sampleTable(), 640, 400)
+	b := SVG(sampleTable(), 640, 400)
+	if a != b {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestDrawSegmentBounds(t *testing.T) {
+	// Steep and flat segments stay within the grid.
+	grid := make([][]rune, 5)
+	for r := range grid {
+		grid[r] = []rune("     ")
+	}
+	drawSegment(grid, 0, 0, 4, 4, '*')
+	drawSegment(grid, 0, 4, 4, 4, '+')
+	drawSegment(grid, 2, 2, 2, 2, 'o')
+	if grid[2][2] != 'o' && grid[2][2] != '*' {
+		t.Fatal("point draw failed")
+	}
+}

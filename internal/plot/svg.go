@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cosched/internal/stats"
+)
+
+// Palette holds the series colors used by the SVG renderer.
+var Palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVG renders the table as a standalone SVG document with axes, tick
+// marks, series polylines with point markers, and a legend. The output is
+// deterministic for a given table.
+func SVG(t *stats.Table, width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const (
+		marginL = 70
+		marginR = 160
+		marginT = 40
+		marginB = 55
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if t.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginL, escape(t.Title))
+	}
+	if len(t.X) == 0 || len(t.Series) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13">no data</text>`+"\n",
+			marginL, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	xmin, xmax := minMax(t.X)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		lo, hi := minMax(s.Y)
+		ymin, ymax = math.Min(ymin, lo), math.Max(ymax, hi)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.07
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (ymax-y)/(ymax-ymin)*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<g stroke="black" stroke-width="1">`+"\n")
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g"/>`+"\n",
+		px(xmin), py(ymin), px(xmax), py(ymin))
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g"/>`+"\n",
+		px(xmin), py(ymin), px(xmin), py(ymax))
+	b.WriteString("</g>\n")
+
+	// Ticks: 5 per axis.
+	fmt.Fprintf(&b, `<g font-family="sans-serif" font-size="11" fill="black">`+"\n")
+	for k := 0; k <= 4; k++ {
+		xv := xmin + (xmax-xmin)*float64(k)/4
+		yv := ymin + (ymax-ymin)*float64(k)/4
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px(xv), py(ymin), px(xv), py(ymin)+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%.4g</text>`+"\n",
+			px(xv), py(ymin)+20, xv)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px(xmin)-5, py(yv), px(xmin), py(yv))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%.4g</text>`+"\n",
+			px(xmin)-8, py(yv)+4, yv)
+	}
+	if t.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle" font-size="13">%s</text>`+"\n",
+			px((xmin+xmax)/2), height-10, escape(t.XLabel))
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" font-size="13" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+			py((ymin+ymax)/2), py((ymin+ymax)/2), escape(t.YLabel))
+	}
+	b.WriteString("</g>\n")
+
+	// Series.
+	for si, s := range t.Series {
+		color := Palette[si%len(Palette)]
+		var pts []string
+		for k := range t.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(t.X[k]), py(s.Y[k])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for k := range t.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2.6" fill="%s"/>`+"\n",
+				px(t.X[k]), py(s.Y[k]), color)
+		}
+		// Legend entry.
+		ly := marginT + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+10, ly, width-marginR+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR+40, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,160 @@
+// Package redistrib realizes the data-redistribution mechanism of §3.3 of
+// the paper. When a task moves from j to k processors, a fraction
+// 1/(k·j) of its data flows along every edge of a complete bipartite
+// graph between senders and receivers; one processor can drive one
+// transfer at a time, so transfers are grouped into rounds given by a
+// proper edge coloring. König's theorem makes the optimal number of
+// rounds equal to the maximum degree, max(min(j,k), |k−j|), which yields
+// the redistribution cost of Eq. (9):
+//
+//	RC_i^{j→k} = max(min(j,k), |k−j|) · (1/k) · (m_i/j).
+//
+// The package builds the explicit per-round transfer plan (the simulator
+// substrate for the mechanism) and exposes the closed-form round count
+// and cost used by the scheduling heuristics.
+package redistrib
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transfer is one point-to-point data movement within a plan.
+type Transfer struct {
+	From   int     // sending processor ID
+	To     int     // receiving processor ID
+	Round  int     // communication round, 0-based
+	Volume float64 // data units moved
+}
+
+// Plan is a full redistribution: all transfers, grouped by round.
+type Plan struct {
+	Rounds    int
+	Transfers []Transfer
+	// PerTransfer is the data volume on each edge: m/(j·k).
+	PerTransfer float64
+}
+
+// RoundCount returns the number of communication rounds needed to move a
+// task from j to k processors (Eq. 9's max(min(j,k), |k−j|) factor).
+// Moving to the same count needs no rounds.
+func RoundCount(j, k int) int {
+	if j <= 0 || k <= 0 {
+		panic(fmt.Sprintf("redistrib: RoundCount with j=%d k=%d", j, k))
+	}
+	if j == k {
+		return 0
+	}
+	diff := k - j
+	if diff < 0 {
+		diff = -diff
+	}
+	return max(min(j, k), diff)
+}
+
+// Cost returns the redistribution cost RC^{j→k} for data volume m,
+// identical to model.RedistCost (bit-for-bit: the evaluation order
+// mirrors model.CostModel so the packages cross-check exactly); kept
+// here so the substrate is self-contained.
+func Cost(m float64, j, k int) float64 {
+	if j == k {
+		return 0
+	}
+	perRound := m / float64(j) / float64(k)
+	return float64(RoundCount(j, k)) * perRound
+}
+
+// Grow builds the transfer plan for expanding a task from the processors
+// in keep (the original j) to keep plus added (the q = k−j newcomers).
+// Every original processor sends to every newcomer; the proper edge
+// coloring color(u,v) = (u+v) mod max(j,q) packs the transfers into
+// exactly max(j, q) rounds.
+func Grow(keep, added []int, m float64) (Plan, error) {
+	j, q := len(keep), len(added)
+	if j == 0 || q == 0 {
+		return Plan{}, fmt.Errorf("redistrib: Grow needs non-empty sides (j=%d q=%d)", j, q)
+	}
+	k := j + q
+	return bipartite(keep, added, m/float64(j*k)), nil
+}
+
+// Shrink builds the transfer plan for contracting a task: every leaving
+// processor sends its share to every keeper. keep has k processors,
+// leaving has j−k, and each edge carries m/(j·k) data units.
+func Shrink(keep, leaving []int, m float64) (Plan, error) {
+	k, q := len(keep), len(leaving)
+	if k == 0 || q == 0 {
+		return Plan{}, fmt.Errorf("redistrib: Shrink needs non-empty sides (k=%d q=%d)", k, q)
+	}
+	j := k + q
+	return bipartite(leaving, keep, m/float64(j*k)), nil
+}
+
+// bipartite colors the complete bipartite graph senders × receivers with
+// max(len(senders), len(receivers)) colors: edge (u,v) gets color
+// (u+v) mod M. Two edges sharing a sender differ in v (< M), two sharing
+// a receiver differ in u (< M), so the coloring is proper.
+func bipartite(senders, receivers []int, perEdge float64) Plan {
+	a, b := len(senders), len(receivers)
+	rounds := max(a, b)
+	ts := make([]Transfer, 0, a*b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			ts = append(ts, Transfer{
+				From:   senders[u],
+				To:     receivers[v],
+				Round:  (u + v) % rounds,
+				Volume: perEdge,
+			})
+		}
+	}
+	sort.Slice(ts, func(x, y int) bool {
+		if ts[x].Round != ts[y].Round {
+			return ts[x].Round < ts[y].Round
+		}
+		if ts[x].From != ts[y].From {
+			return ts[x].From < ts[y].From
+		}
+		return ts[x].To < ts[y].To
+	})
+	return Plan{Rounds: rounds, Transfers: ts, PerTransfer: perEdge}
+}
+
+// Validate checks that the plan is a proper round schedule: within a
+// round no processor appears in two transfers, every sender–receiver pair
+// appears exactly once overall, and the round indices are within bounds.
+func (p Plan) Validate() error {
+	type edge struct{ f, t int }
+	seen := make(map[edge]bool, len(p.Transfers))
+	byRound := make(map[int]map[int]bool)
+	for _, tr := range p.Transfers {
+		if tr.Round < 0 || tr.Round >= p.Rounds {
+			return fmt.Errorf("redistrib: round %d out of [0,%d)", tr.Round, p.Rounds)
+		}
+		e := edge{tr.From, tr.To}
+		if seen[e] {
+			return fmt.Errorf("redistrib: duplicate transfer %d→%d", tr.From, tr.To)
+		}
+		seen[e] = true
+		procs := byRound[tr.Round]
+		if procs == nil {
+			procs = make(map[int]bool)
+			byRound[tr.Round] = procs
+		}
+		if procs[tr.From] || procs[tr.To] {
+			return fmt.Errorf("redistrib: processor reused in round %d (%d→%d)", tr.Round, tr.From, tr.To)
+		}
+		procs[tr.From] = true
+		procs[tr.To] = true
+	}
+	return nil
+}
+
+// TotalVolume returns the total data moved by the plan.
+func (p Plan) TotalVolume() float64 {
+	sum := 0.0
+	for _, tr := range p.Transfers {
+		sum += tr.Volume
+	}
+	return sum
+}

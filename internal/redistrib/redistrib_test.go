@@ -1,0 +1,242 @@
+package redistrib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/model"
+)
+
+func seq(from, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}
+
+func TestRoundCountPaperExample(t *testing.T) {
+	// Figure 3 of the paper: j=4 → k=6 requires χ'(G) = ∆(G) = 4 rounds.
+	if got := RoundCount(4, 6); got != 4 {
+		t.Fatalf("RoundCount(4,6) = %d, want 4", got)
+	}
+}
+
+func TestRoundCountCases(t *testing.T) {
+	cases := []struct{ j, k, want int }{
+		{2, 4, 2},
+		{2, 10, 8},
+		{10, 12, 10},
+		{6, 2, 4},  // shrink: max(min(6,2), 4)
+		{12, 4, 8}, // shrink: max(4, 8)
+		{4, 4, 0},
+	}
+	for _, c := range cases {
+		if got := RoundCount(c.j, c.k); got != c.want {
+			t.Fatalf("RoundCount(%d,%d) = %d, want %d", c.j, c.k, got, c.want)
+		}
+	}
+}
+
+func TestRoundCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RoundCount(0,2) did not panic")
+		}
+	}()
+	RoundCount(0, 2)
+}
+
+func TestCostMatchesModel(t *testing.T) {
+	err := quick.Check(func(jRaw, kRaw uint8, mRaw uint16) bool {
+		j := int(jRaw%40)*2 + 2
+		k := int(kRaw%40)*2 + 2
+		m := float64(mRaw) + 1
+		return math.Abs(Cost(m, j, k)-model.RedistCost(m, j, k)) < 1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowPlanStructure(t *testing.T) {
+	keep := seq(0, 4)
+	added := seq(10, 2)
+	plan, err := Grow(keep, added, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", plan.Rounds)
+	}
+	if len(plan.Transfers) != 8 { // complete bipartite K_{4,2}
+		t.Fatalf("transfers = %d, want 8", len(plan.Transfers))
+	}
+	// Each edge carries m/(j·k) = 48/(4·6) = 2.
+	for _, tr := range plan.Transfers {
+		if tr.Volume != 2 {
+			t.Fatalf("edge volume %v, want 2", tr.Volume)
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total data received by newcomers: each gets j·m/(j·k) = m/k.
+	recv := map[int]float64{}
+	for _, tr := range plan.Transfers {
+		recv[tr.To] += tr.Volume
+	}
+	for _, q := range added {
+		if math.Abs(recv[q]-48.0/6.0) > 1e-12 {
+			t.Fatalf("newcomer %d received %v, want %v", q, recv[q], 48.0/6.0)
+		}
+	}
+}
+
+func TestShrinkPlanStructure(t *testing.T) {
+	keep := seq(0, 2)
+	leaving := seq(2, 4)
+	plan, err := Shrink(keep, leaving, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j = 6 → k = 2: rounds = max(min(6,2), 4) = 4.
+	if plan.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", plan.Rounds)
+	}
+	if len(plan.Transfers) != 8 { // K_{4,2}
+		t.Fatalf("transfers = %d, want 8", len(plan.Transfers))
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every leaver must fully drain its share: each sends k edges of
+	// m/(j·k), total m/j.
+	sent := map[int]float64{}
+	for _, tr := range plan.Transfers {
+		sent[tr.From] += tr.Volume
+	}
+	for _, q := range leaving {
+		if math.Abs(sent[q]-36.0/6.0) > 1e-12 {
+			t.Fatalf("leaver %d sent %v, want %v", q, sent[q], 36.0/6.0)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Grow(nil, seq(0, 2), 1); err == nil {
+		t.Fatal("Grow with empty keep accepted")
+	}
+	if _, err := Grow(seq(0, 2), nil, 1); err == nil {
+		t.Fatal("Grow with empty added accepted")
+	}
+	if _, err := Shrink(nil, seq(0, 2), 1); err == nil {
+		t.Fatal("Shrink with empty keep accepted")
+	}
+	if _, err := Shrink(seq(0, 2), nil, 1); err == nil {
+		t.Fatal("Shrink with empty leaving accepted")
+	}
+}
+
+// TestColoringProperRandom checks the edge coloring on random bipartite
+// sizes: the plan always validates and uses exactly RoundCount rounds.
+func TestColoringProperRandom(t *testing.T) {
+	err := quick.Check(func(aRaw, bRaw uint8, grow bool) bool {
+		a := int(aRaw%24) + 1
+		b := int(bRaw%24) + 1
+		var plan Plan
+		var err error
+		var j, k int
+		if grow {
+			j, k = a, a+b
+			plan, err = Grow(seq(0, a), seq(100, b), 1000)
+		} else {
+			j, k = a+b, a
+			plan, err = Shrink(seq(0, a), seq(100, b), 1000)
+		}
+		if err != nil {
+			return false
+		}
+		if plan.Rounds != RoundCount(j, k) {
+			return false
+		}
+		return plan.Validate() == nil
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanDurationMatchesCost ties the substrate to the analytical model:
+// rounds · per-edge volume equals Eq. (9), because each round moves one
+// unit of 1/(k·j)·m per active processor and the bottleneck side drives
+// max(min(j,k),|k−j|) rounds.
+func TestPlanDurationMatchesCost(t *testing.T) {
+	m := 7200.0
+	for _, c := range []struct{ j, k int }{{4, 6}, {2, 8}, {10, 2}, {6, 12}} {
+		var plan Plan
+		var err error
+		if c.k > c.j {
+			plan, err = Grow(seq(0, c.j), seq(50, c.k-c.j), m)
+		} else {
+			plan, err = Shrink(seq(0, c.k), seq(50, c.j-c.k), m)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One transfer of m/(j·k) takes m/(j·k) time units at unit
+		// bandwidth; rounds are sequential.
+		duration := float64(plan.Rounds) * plan.PerTransfer
+		want := Cost(m, c.j, c.k)
+		if math.Abs(duration-want)/want > 1e-12 {
+			t.Fatalf("plan duration %v != Eq.9 cost %v for %d→%d", duration, want, c.j, c.k)
+		}
+	}
+}
+
+func TestTotalVolume(t *testing.T) {
+	plan, err := Grow(seq(0, 3), seq(10, 3), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j=3, k=6: each of 9 edges carries 90/18 = 5; total 45 = q·m/k·... =
+	// the newcomers' share q·(m/k) = 3·15 = 45.
+	if math.Abs(plan.TotalVolume()-45) > 1e-12 {
+		t.Fatalf("total volume %v, want 45", plan.TotalVolume())
+	}
+}
+
+func TestValidateCatchesBrokenPlans(t *testing.T) {
+	plan, _ := Grow(seq(0, 2), seq(10, 2), 8)
+	bad := plan
+	bad.Transfers = append([]Transfer(nil), plan.Transfers...)
+	bad.Transfers[0].Round = 99
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range round not caught")
+	}
+	bad.Transfers[0] = plan.Transfers[1] // duplicate edge
+	if bad.Validate() == nil {
+		t.Fatal("duplicate edge not caught")
+	}
+	conflict := plan
+	conflict.Transfers = append([]Transfer(nil), plan.Transfers...)
+	// Force two transfers with a shared endpoint into the same round.
+	conflict.Transfers[1].Round = conflict.Transfers[0].Round
+	conflict.Transfers[1].From = conflict.Transfers[0].From
+	conflict.Transfers[1].To = 77
+	if conflict.Validate() == nil {
+		t.Fatal("round conflict not caught")
+	}
+}
+
+func BenchmarkGrowPlan(b *testing.B) {
+	keep := seq(0, 64)
+	added := seq(100, 32)
+	for i := 0; i < b.N; i++ {
+		plan, err := Grow(keep, added, 2.5e6)
+		if err != nil || plan.Rounds == 0 {
+			b.Fatal("bad plan")
+		}
+	}
+}

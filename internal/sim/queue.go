@@ -1,0 +1,121 @@
+// Package sim provides the discrete-event simulation core: a binary-heap
+// event queue with deterministic tie-breaking and versioned (cancellable)
+// events. The co-scheduling engine (internal/core) drives its main loop
+// from this queue; failures and task terminations are both events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Kind discriminates event types.
+type Kind int
+
+const (
+	// KindFailure is a processor failure drawn from the fault generator.
+	KindFailure Kind = iota
+	// KindTaskEnd is the (predicted) termination of a task.
+	KindTaskEnd
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindFailure:
+		return "failure"
+	case KindTaskEnd:
+		return "task-end"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is a timestamped simulation event. Version supports O(log n)
+// logical cancellation: re-scheduling a task's end pushes a new event with
+// a larger version, and stale pops are discarded by the engine via a
+// version check (see Queue.PopValid).
+type Event struct {
+	Time    float64
+	Kind    Kind
+	Task    int    // task index (KindTaskEnd, KindFailure)
+	Proc    int    // processor hit (KindFailure only)
+	Version uint64 // logical version for cancellable events
+	seq     uint64 // insertion order, breaks time ties deterministically
+}
+
+// Queue is a min-heap of events ordered by (Time, seq). The zero value is
+// ready to use. It is not safe for concurrent use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Push schedules an event. Non-finite or NaN times are rejected with a
+// panic: they indicate a bug upstream and would corrupt the heap order.
+func (q *Queue) Push(e Event) {
+	if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+		panic(fmt.Sprintf("sim: event with non-finite time %v", e.Time))
+	}
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event. The boolean is false when
+// the queue is empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&q.h).(Event), true
+}
+
+// PopValid pops events until one passes the validity predicate, discarding
+// stale ones. It returns false when the queue drains first.
+func (q *Queue) PopValid(valid func(Event) bool) (Event, bool) {
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			return Event{}, false
+		}
+		if valid(e) {
+			return e, true
+		}
+	}
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Len returns the number of pending events (including stale ones).
+func (q *Queue) Len() int { return len(q.h) }
+
+// Reset discards all pending events but keeps the sequence counter, so
+// event ordering remains deterministic across phases.
+func (q *Queue) Reset() { q.h = q.h[:0] }

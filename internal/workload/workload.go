@@ -1,0 +1,135 @@
+// Package workload generates the synthetic application packs of §6.1 of
+// the paper: n tasks whose problem sizes m_i are drawn uniformly from
+// [MInf, MSup], with execution times from the synthetic speedup model
+// (Eq. 10) and checkpoint footprints C_i = c·m_i.
+package workload
+
+import (
+	"fmt"
+
+	"cosched/internal/model"
+	"cosched/internal/rng"
+)
+
+// YearSeconds converts the paper's MTBF figures (years) to seconds.
+const YearSeconds = 365.25 * 24 * 3600
+
+// Spec is a complete simulation configuration. The zero value is not
+// useful; start from Default() and override.
+type Spec struct {
+	N int // number of tasks in the pack
+	P int // number of processors (even, ≥ 2N)
+
+	MInf, MSup  float64 // problem-size range; MInf = MSup gives homogeneity
+	SeqFraction float64 // f, sequential fraction of Eq. (10)
+	CkptUnit    float64 // c: time to checkpoint one data unit, C_i = c·m_i
+
+	MTBFYears float64 // per-processor MTBF in years; 0 = fault-free
+	Downtime  float64 // D, seconds
+	Rule      model.PeriodRule
+
+	// Silent-error extension (0 in the paper): per-processor silent MTBF
+	// in years and verification cost per data unit (V_i = VerifyUnit·m_i).
+	SilentMTBFYears float64
+	VerifyUnit      float64
+}
+
+// Default returns the paper's default configuration (§6.1): n=100,
+// p=1000, m_i ∈ [1.5e6, 2.5e6], f=0.08, c=1, per-processor MTBF 100
+// years. The downtime D is not stated in the paper; 60 s is the
+// conventional value (see DESIGN.md §5.2).
+func Default() Spec {
+	return Spec{
+		N:           100,
+		P:           1000,
+		MInf:        1.5e6,
+		MSup:        2.5e6,
+		SeqFraction: 0.08,
+		CkptUnit:    1,
+		MTBFYears:   100,
+		Downtime:    60,
+	}
+}
+
+// Heterogeneous returns the paper's heterogeneous variant: MInf lowered
+// to 1500 so task sizes span three orders of magnitude (Figures 5b, 6b).
+func Heterogeneous() Spec {
+	s := Default()
+	s.MInf = 1500
+	return s
+}
+
+// Validate reports whether the spec is simulable.
+func (s Spec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("workload: need at least one task, got %d", s.N)
+	}
+	if s.P <= 0 || s.P%2 != 0 {
+		return fmt.Errorf("workload: processor count %d must be positive and even", s.P)
+	}
+	if s.P < 2*s.N {
+		return fmt.Errorf("workload: %d processors cannot give every one of %d tasks a buddy pair", s.P, s.N)
+	}
+	if s.MInf <= 1 || s.MSup < s.MInf {
+		return fmt.Errorf("workload: invalid problem-size range [%v, %v]", s.MInf, s.MSup)
+	}
+	if s.SeqFraction < 0 || s.SeqFraction > 1 {
+		return fmt.Errorf("workload: sequential fraction %v outside [0,1]", s.SeqFraction)
+	}
+	if s.CkptUnit < 0 {
+		return fmt.Errorf("workload: negative checkpoint unit cost %v", s.CkptUnit)
+	}
+	if s.MTBFYears < 0 {
+		return fmt.Errorf("workload: negative MTBF %v", s.MTBFYears)
+	}
+	if s.Downtime < 0 {
+		return fmt.Errorf("workload: negative downtime %v", s.Downtime)
+	}
+	if s.SilentMTBFYears < 0 || s.VerifyUnit < 0 {
+		return fmt.Errorf("workload: negative silent-error parameters")
+	}
+	if s.SilentMTBFYears > 0 && s.MTBFYears == 0 {
+		return fmt.Errorf("workload: silent errors need active checkpointing (MTBFYears > 0)")
+	}
+	return nil
+}
+
+// Lambda returns the per-processor failure rate in 1/s (0 = fault-free).
+func (s Spec) Lambda() float64 {
+	if s.MTBFYears == 0 {
+		return 0
+	}
+	return 1 / (s.MTBFYears * YearSeconds)
+}
+
+// Resilience returns the model parameters implied by the spec.
+func (s Spec) Resilience() model.Resilience {
+	r := model.Resilience{Lambda: s.Lambda(), Downtime: s.Downtime, Rule: s.Rule}
+	if s.SilentMTBFYears > 0 {
+		r.SilentLambda = 1 / (s.SilentMTBFYears * YearSeconds)
+	}
+	return r
+}
+
+// Generate draws the pack's tasks using src. The same source state always
+// produces the same pack.
+func (s Spec) Generate(src *rng.Source) ([]model.Task, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tasks := make([]model.Task, s.N)
+	for i := range tasks {
+		m := src.Uniform(s.MInf, s.MSup)
+		if s.MInf == s.MSup {
+			m = s.MInf
+		}
+		tasks[i] = model.Task{
+			ID:      i,
+			Data:    m,
+			Ckpt:    s.CkptUnit * m,
+			Verify:  s.VerifyUnit * m,
+			Profile: model.Synthetic{M: m, SeqFraction: s.SeqFraction},
+		}
+	}
+	return tasks, nil
+}

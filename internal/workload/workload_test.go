@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/model"
+	"cosched/internal/rng"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	s := Default()
+	if s.MInf != 1.5e6 || s.MSup != 2.5e6 {
+		t.Fatalf("default m range [%v,%v], want paper's [1.5e6, 2.5e6]", s.MInf, s.MSup)
+	}
+	if s.SeqFraction != 0.08 {
+		t.Fatalf("default f = %v, want 0.08", s.SeqFraction)
+	}
+	if s.CkptUnit != 1 {
+		t.Fatalf("default c = %v, want 1", s.CkptUnit)
+	}
+	if s.MTBFYears != 100 {
+		t.Fatalf("default MTBF = %v years, want 100", s.MTBFYears)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	s := Heterogeneous()
+	if s.MInf != 1500 {
+		t.Fatalf("heterogeneous MInf = %v, want 1500", s.MInf)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := Default()
+	mutations := []func(*Spec){
+		func(s *Spec) { s.N = 0 },
+		func(s *Spec) { s.P = 999 },
+		func(s *Spec) { s.P = 0 },
+		func(s *Spec) { s.P = 2*s.N - 2 },
+		func(s *Spec) { s.MInf = 0 },
+		func(s *Spec) { s.MSup = s.MInf - 1 },
+		func(s *Spec) { s.SeqFraction = -0.1 },
+		func(s *Spec) { s.SeqFraction = 1.5 },
+		func(s *Spec) { s.CkptUnit = -1 },
+		func(s *Spec) { s.MTBFYears = -5 },
+		func(s *Spec) { s.Downtime = -1 },
+	}
+	for i, mutate := range mutations {
+		s := base
+		mutate(&s)
+		if s.Validate() == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLambda(t *testing.T) {
+	s := Default()
+	want := 1 / (100 * YearSeconds)
+	if got := s.Lambda(); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("lambda = %v, want %v", got, want)
+	}
+	s.MTBFYears = 0
+	if s.Lambda() != 0 {
+		t.Fatal("MTBF 0 must mean fault-free")
+	}
+	if !s.Resilience().FaultFree() {
+		t.Fatal("resilience should be fault-free")
+	}
+}
+
+func TestGenerateRanges(t *testing.T) {
+	s := Default()
+	tasks, err := s.Generate(rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != s.N {
+		t.Fatalf("generated %d tasks, want %d", len(tasks), s.N)
+	}
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Fatalf("task %d has ID %d", i, task.ID)
+		}
+		if task.Data < s.MInf || task.Data >= s.MSup {
+			t.Fatalf("task %d data %v outside [%v,%v)", i, task.Data, s.MInf, s.MSup)
+		}
+		if math.Abs(task.Ckpt-task.Data*s.CkptUnit) > 1e-9 {
+			t.Fatalf("task %d ckpt %v != c·m = %v", i, task.Ckpt, task.Data*s.CkptUnit)
+		}
+		syn, ok := task.Profile.(model.Synthetic)
+		if !ok {
+			t.Fatalf("task %d profile is %T", i, task.Profile)
+		}
+		if syn.M != task.Data || syn.SeqFraction != s.SeqFraction {
+			t.Fatalf("task %d profile mismatched", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Default()
+	a, _ := s.Generate(rng.New(42))
+	b, _ := s.Generate(rng.New(42))
+	for i := range a {
+		if a[i].Data != b[i].Data {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+}
+
+func TestGenerateHomogeneous(t *testing.T) {
+	s := Default()
+	s.MInf, s.MSup = 2e6, 2e6
+	tasks, err := s.Generate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if task.Data != 2e6 {
+			t.Fatalf("homogeneous pack has size %v", task.Data)
+		}
+	}
+}
+
+func TestSilentExtensionSpec(t *testing.T) {
+	s := Default()
+	s.SilentMTBFYears = 20
+	s.VerifyUnit = 0.01
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Resilience()
+	want := 1 / (20 * YearSeconds)
+	if math.Abs(r.SilentLambda-want)/want > 1e-12 {
+		t.Fatalf("silent lambda %v, want %v", r.SilentLambda, want)
+	}
+	tasks, err := s.Generate(rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if math.Abs(task.Verify-0.01*task.Data) > 1e-9 {
+			t.Fatalf("verify cost %v, want %v", task.Verify, 0.01*task.Data)
+		}
+	}
+	// Silent errors without checkpointing are rejected.
+	bad := Default()
+	bad.MTBFYears = 0
+	bad.SilentMTBFYears = 20
+	if bad.Validate() == nil {
+		t.Fatal("silent errors without checkpointing accepted")
+	}
+	neg := Default()
+	neg.VerifyUnit = -1
+	if neg.Validate() == nil {
+		t.Fatal("negative verify unit accepted")
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	s := Default()
+	s.N = -1
+	if _, err := s.Generate(rng.New(1)); err == nil {
+		t.Fatal("invalid spec generated tasks")
+	}
+}
+
+func TestPaperScaleSanity(t *testing.T) {
+	// §6.1: "the longest execution time in a fault-free execution is
+	// around 100 days" — verify our Eq. 10 implementation reproduces the
+	// order of magnitude for m = 2.5e6 on a typical allocation.
+	task := model.Task{Data: 2.5e6, Ckpt: 2.5e6, Profile: model.Synthetic{M: 2.5e6, SeqFraction: 0.08}}
+	days := task.Time(50) / 86400
+	if days < 50 || days > 300 {
+		t.Fatalf("fault-free time on 50 procs = %.0f days, want ~100", days)
+	}
+}
