@@ -17,11 +17,13 @@ package cosched
 import (
 	"testing"
 
+	"cosched/internal/campaign"
 	"cosched/internal/core"
 	"cosched/internal/experiments"
 	"cosched/internal/failure"
 	"cosched/internal/model"
 	"cosched/internal/rng"
+	"cosched/internal/scenario"
 	"cosched/internal/stats"
 	"cosched/internal/workload"
 )
@@ -297,6 +299,40 @@ func BenchmarkAblationSilentErrors(b *testing.B) {
 	if baseSum > 0 {
 		b.ReportMetric(silentSum/baseSum, "silent_ratio")
 	}
+}
+
+// BenchmarkCampaignThroughput measures the campaign runner end to end: a
+// two-axis grid with failures and a fault-free bound, all cores, units/s
+// as the headline metric. This is the scaling path the campaign
+// subsystem exists for, so regressions here are regressions of the
+// north-star.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	w := workload.Default()
+	w.N = 5
+	w.P = 40
+	w.MTBFYears = 5
+	sp := scenario.Spec{
+		Name:       "bench",
+		Workload:   w,
+		Policies:   []string{"norc", "ig-el", "stf-el", "ff-el"},
+		Base:       "norc",
+		Replicates: 4,
+		Seed:       1,
+		Axes: []scenario.Axis{
+			{Param: scenario.ParamP, Values: []float64{20, 40, 80}},
+			{Param: scenario.ParamMTBF, Values: []float64{5, 15}},
+		},
+	}
+	units := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(sp, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		units += res.Units()
+	}
+	b.ReportMetric(float64(units)/b.Elapsed().Seconds(), "units/s")
 }
 
 // BenchmarkEngineSingleRun measures one full simulated execution at the

@@ -1,0 +1,189 @@
+// Command campaign runs a declarative Monte-Carlo campaign: it loads a
+// scenario spec (JSON), expands its parameter grid, executes every
+// (point, replicate) unit on a sharded worker pool with deterministic
+// per-unit RNG streams, and emits aggregate results as JSONL, CSV, and a
+// terminal summary. Campaigns are resumable through a manifest journal.
+//
+// Examples:
+//
+//	campaign -example > sweep.json          # starter spec to edit
+//	campaign -spec sweep.json -out results.jsonl -csv results.csv
+//	campaign -spec big.json -manifest big.manifest   # interruptible
+//	campaign -figure 8 -reps 5 -shrink 0.2  # a paper figure, campaign-style
+//	campaign -figure 8 -print-spec          # export that figure as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cosched/internal/campaign"
+	"cosched/internal/experiments"
+	"cosched/internal/plot"
+	"cosched/internal/scenario"
+	"cosched/internal/workload"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "JSON scenario spec file")
+		figure    = flag.String("figure", "", "run a paper figure (5a 5b 6a 6b 7 8 10 11 12 13a 13b 13c 14) as a campaign instead of -spec")
+		reps      = flag.Int("reps", 0, "override the spec's replicate count (with -figure: default 10)")
+		seed      = flag.Uint64("seed", 0, "override the spec's master seed (with -figure: default 1)")
+		shrink    = flag.Float64("shrink", 1, "with -figure: platform scale factor in (0,1]")
+		workers   = flag.Int("workers", 0, "parallel units (0 = all cores)")
+		outPath   = flag.String("out", "", "write aggregate results as JSONL to this file")
+		csvPath   = flag.String("csv", "", "write the result table as CSV to this file")
+		manifest  = flag.String("manifest", "", "resumable journal of completed units (reused on restart)")
+		printSpec = flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
+		example   = flag.Bool("example", false, "print an example scenario spec and exit")
+		quiet     = flag.Bool("quiet", false, "suppress the ASCII chart and progress")
+	)
+	flag.Parse()
+
+	if *example {
+		if err := exampleSpec().Encode(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	sp, err := loadSpec(*specPath, *figure, *reps, *seed, *shrink)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *printSpec {
+		if err := sp.Encode(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	points, err := sp.Expand()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	units := len(points) * sp.Replicates
+	fmt.Printf("campaign %q: %d grid points × %d replicates = %d units, %d policies\n",
+		sp.Name, len(points), sp.Replicates, units, len(sp.Policies))
+
+	opt := campaign.Options{Workers: *workers}
+	if *manifest != "" {
+		man, err := campaign.OpenManifest(*manifest)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer man.Close()
+		opt.Manifest = man
+	}
+	if !*quiet {
+		lastPct := -5 // any finished unit forces the first print
+		opt.Progress = func(done, total int) {
+			pct := done * 100 / total
+			if pct/5 != lastPct/5 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%3d%% (%d/%d units)", pct, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+				lastPct = pct
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := campaign.Run(sp, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	table, err := res.Table()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := res.WriteJSONL(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s (%d records)\n", *outPath, len(res.Points)*len(res.Policies))
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(table.CSV()), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if !*quiet {
+		fmt.Println(plot.ASCII(table, 72, 18))
+	}
+	fmt.Printf("campaign %q done: %d units in %v (%.1f units/s)\n",
+		sp.Name, res.Units(), elapsed.Round(time.Millisecond), float64(res.Units())/elapsed.Seconds())
+}
+
+// loadSpec resolves the scenario from -spec or -figure and applies the
+// CLI overrides.
+func loadSpec(specPath, figure string, reps int, seed uint64, shrink float64) (scenario.Spec, error) {
+	switch {
+	case specPath != "" && figure != "":
+		return scenario.Spec{}, fmt.Errorf("-spec and -figure are mutually exclusive")
+	case figure != "":
+		return experiments.FigureScenario(figure, experiments.Params{Reps: reps, Seed: seed, Shrink: shrink})
+	case specPath != "":
+		f, err := os.Open(specPath)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		defer f.Close()
+		sp, err := scenario.Decode(f)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		if reps > 0 {
+			sp.Replicates = reps
+		}
+		if seed != 0 {
+			sp.Seed = seed
+		}
+		return sp, nil
+	default:
+		return scenario.Spec{}, fmt.Errorf("need -spec FILE or -figure ID (try -example)")
+	}
+}
+
+// exampleSpec is a small but representative starter: a two-axis grid
+// crossing platform size with per-processor MTBF under a Weibull law.
+func exampleSpec() scenario.Spec {
+	w := workload.Default()
+	w.N = 10
+	w.P = 100
+	w.MTBFYears = 10
+	return scenario.Spec{
+		Name:       "mtbf-x-platform",
+		Title:      "Redistribution gain across platform size and MTBF",
+		XLabel:     "#procs",
+		Workload:   w,
+		Failure:    scenario.FailureSpec{Law: "weibull", Shape: 0.7},
+		Policies:   []string{"norc", "ig-el", "stf-el", "ff-el"},
+		Base:       "norc",
+		Replicates: 5,
+		Seed:       1,
+		Axes: []scenario.Axis{
+			{Param: scenario.ParamP, Values: []float64{40, 80, 160}},
+			{Param: scenario.ParamMTBF, Values: []float64{5, 20}},
+		},
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -52,6 +52,26 @@ func main() {
 	if !ok {
 		fatalf("unknown policy %q (want norc, ig-eg, ig-el, stf-eg or stf-el)", *policy)
 	}
+	// Check flag constraints up front with flag-level messages, before
+	// the spec reaches the engine.
+	switch {
+	case *n <= 0:
+		fatalf("-n must be positive, got %d", *n)
+	case *p <= 0 || *p%2 != 0:
+		fatalf("-p must be a positive even number (processors pair up for buddy checkpointing), got %d", *p)
+	case *p < 2**n:
+		fatalf("-p %d is too small: every task needs a processor pair, so p ≥ 2n = %d", *p, 2**n)
+	case *mtbf < 0:
+		fatalf("-mtbf must be zero (fault-free) or positive years, got %v", *mtbf)
+	case *downtime < 0:
+		fatalf("-downtime must be non-negative seconds, got %v", *downtime)
+	case *mInf <= 1 || *mSup < *mInf:
+		fatalf("problem-size range -minf %v, -msup %v is invalid (need 1 < minf ≤ msup)", *mInf, *mSup)
+	case *seqFrac < 0 || *seqFrac > 1:
+		fatalf("-f must be a fraction in [0,1], got %v", *seqFrac)
+	case *ckptUnit < 0:
+		fatalf("-c must be a non-negative checkpoint cost, got %v", *ckptUnit)
+	}
 	spec := workload.Spec{
 		N: *n, P: *p,
 		MInf: *mInf, MSup: *mSup,

@@ -20,8 +20,15 @@
 //   - internal/platform    — processor-pair allocator
 //   - internal/redistrib   — bipartite transfer-round scheduler (König)
 //   - internal/npc         — Theorem 2 reduction from 3-Partition
-//   - internal/experiments — reproduction of Figures 5–14
-//   - cmd/...              — coschedsim, experiments, faultgen, npcheck
+//   - internal/scenario    — declarative, JSON-encodable experiment
+//     specs: workload, failure law, policy list, parameter grids
+//   - internal/campaign    — sharded Monte-Carlo campaign runner over
+//     scenario specs (worker pool, per-unit RNG streams, JSONL/CSV
+//     sinks, resumable manifests)
+//   - internal/experiments — reproduction of Figures 5–14, expressed as
+//     scenario specs executed by the campaign runner
+//   - cmd/...              — coschedsim, campaign, experiments,
+//     faultgen, npcheck, report
 //   - examples/...         — runnable walkthroughs
 //
 // See README.md for a tour, DESIGN.md for the architecture and the

@@ -1,0 +1,3 @@
+module cosched
+
+go 1.24

@@ -1,0 +1,317 @@
+// Package campaign executes declarative scenario specs
+// (internal/scenario) as sharded Monte-Carlo campaigns. A campaign
+// expands the scenario grid into run units — one unit per (grid point,
+// replicate) — and executes them on a bounded worker pool. Every unit
+// derives its own RNG streams from the campaign seed via rng.SubSeed, so
+// results are bit-identical regardless of worker count or completion
+// order, and all policies of a unit share one task draw and one fault
+// sequence (common random numbers, exactly as the paper's evaluation).
+//
+// Results land in per-cell replicate slots, are folded through
+// internal/stats accumulators in deterministic order, and stream out as
+// JSONL records or a stats.Table / CSV. A campaign can record a resume
+// manifest: an append-only journal of completed units keyed by the
+// spec's fingerprint, so an interrupted campaign restarts where it
+// stopped instead of recomputing finished units.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/rng"
+	"cosched/internal/scenario"
+	"cosched/internal/stats"
+)
+
+// Stream identifiers for rng.SubSeed derivation. Distinct constants keep
+// the task-generation and fault streams of a unit independent.
+const (
+	streamTasks  = 0x7461736b // "task"
+	streamFaults = 0x66617574 // "faut"
+)
+
+// Options tunes a campaign execution.
+type Options struct {
+	// Workers bounds unit parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after every completed unit with
+	// the number of finished units (including manifest-restored ones)
+	// and the campaign total. Calls are serialized.
+	Progress func(done, total int)
+	// Manifest, when non-nil, makes the campaign resumable: previously
+	// recorded units are restored instead of re-run, and every newly
+	// completed unit is appended.
+	Manifest *Manifest
+}
+
+// Result is a completed campaign: the expanded grid, the resolved
+// policies, and every replicate makespan.
+type Result struct {
+	Spec     scenario.Spec
+	Points   []scenario.RunPoint
+	Policies []scenario.PolicySpec
+	// Makespans is indexed [point][policy][replicate].
+	Makespans [][][]float64
+}
+
+// Run executes the scenario and blocks until every unit completed.
+func Run(sp scenario.Spec, opt Options) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		return nil, err
+	}
+	policies, err := sp.PolicySpecs()
+	if err != nil {
+		return nil, err
+	}
+	semantics, err := sp.CoreSemantics()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: sp, Points: points, Policies: policies}
+	res.Makespans = make([][][]float64, len(points))
+	for pi := range points {
+		res.Makespans[pi] = make([][]float64, len(policies))
+		for qi := range policies {
+			res.Makespans[pi][qi] = make([]float64, sp.Replicates)
+		}
+	}
+
+	total := len(points) * sp.Replicates
+	done := 0
+	restored := make([]bool, total)
+	if opt.Manifest != nil {
+		n, err := opt.Manifest.restore(sp, len(policies), func(unit int, makespans []float64) {
+			pi, rep := unit/sp.Replicates, unit%sp.Replicates
+			for qi := range policies {
+				res.Makespans[pi][qi][rep] = makespans[qi]
+			}
+			restored[unit] = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		done = n
+	}
+	if opt.Progress != nil && done > 0 {
+		opt.Progress(done, total)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	units := make(chan int)
+	errs := make(chan error, workers)
+	var mu sync.Mutex // guards done, manifest appends, Progress calls
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for unit := range units {
+				pi, rep := unit/sp.Replicates, unit%sp.Replicates
+				makespans, err := runUnit(sp, points[pi], policies, semantics, rep)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, points[pi].X, rep, err):
+					default:
+					}
+					continue
+				}
+				mu.Lock()
+				for qi := range policies {
+					res.Makespans[pi][qi][rep] = makespans[qi]
+				}
+				if opt.Manifest != nil {
+					if err := opt.Manifest.append(unit, makespans); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+					}
+				}
+				done++
+				if opt.Progress != nil {
+					opt.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for unit := 0; unit < total; unit++ {
+		if !restored[unit] {
+			units <- unit
+		}
+	}
+	close(units)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// runUnit executes every policy of one (point, replicate) cell. The unit
+// derives its streams purely from (seed, point index, replicate), so any
+// shard computes identical numbers, and all policies share the task draw
+// and the fault-stream seed (common random numbers).
+func runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int) ([]float64, error) {
+	taskSeed := rng.SubSeed(sp.Seed, streamTasks, uint64(pt.Index), uint64(rep))
+	faultSeed := rng.SubSeed(sp.Seed, streamFaults, uint64(pt.Index), uint64(rep))
+	genSpec := pt.Spec
+	if faultFreeOnly(policies) {
+		// Mirror scenario.Validate: a fault-free-only scenario never uses
+		// the failure fields, so generation must not reject them either.
+		genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
+	}
+	tasks, err := genSpec.Generate(rng.New(taskSeed))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(policies))
+	for qi, pol := range policies {
+		runSpec := pt.Spec
+		var src failure.Source
+		if pol.FaultFree {
+			runSpec.MTBFYears, runSpec.SilentMTBFYears = 0, 0
+		} else if runSpec.Lambda() > 0 {
+			law, err := failure.LawForRate(sp.Failure.Law, runSpec.Lambda(), sp.Failure.Shape)
+			if err != nil {
+				return nil, err
+			}
+			gen, err := failure.NewRenewal(runSpec.P, law, rng.New(faultSeed))
+			if err != nil {
+				return nil, err
+			}
+			src = gen
+		}
+		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience()}
+		r, err := core.Run(in, pol.Policy, src, core.Options{Semantics: semantics})
+		if err != nil {
+			return nil, err
+		}
+		out[qi] = r.Makespan
+	}
+	return out, nil
+}
+
+// faultFreeOnly reports whether no policy ever consumes faults.
+func faultFreeOnly(policies []scenario.PolicySpec) bool {
+	for _, p := range policies {
+		if !p.FaultFree {
+			return false
+		}
+	}
+	return true
+}
+
+// Cell aggregates one (point, policy) cell of the campaign.
+func (r *Result) Cell(point, policy int) stats.Summary {
+	var a stats.Accumulator
+	a.AddAll(r.Makespans[point][policy])
+	return a.Summary()
+}
+
+// Table folds the campaign into a stats.Table: one series per policy
+// (named by label), mean makespan per grid point, normalized by the
+// spec's base policy when set. Replicates fold in deterministic order,
+// so the table is identical for any worker count.
+func (r *Result) Table() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  r.Spec.Title,
+		XLabel: r.Spec.XLabel,
+		YLabel: "mean makespan (s)",
+	}
+	if t.Title == "" {
+		t.Title = r.Spec.Name
+	}
+	if t.XLabel == "" {
+		t.XLabel = "x"
+	}
+	for _, pt := range r.Points {
+		t.X = append(t.X, pt.X)
+	}
+	for qi, pol := range r.Policies {
+		ys := make([]float64, len(r.Points))
+		for pi := range r.Points {
+			ys[pi] = r.Cell(pi, qi).Mean
+		}
+		if err := t.AddSeries(pol.Label, ys); err != nil {
+			return nil, err
+		}
+	}
+	if r.Spec.Base != "" {
+		base := r.Spec.Base
+		if t.SeriesByName(base) == nil {
+			// Base may name the policy rather than its label.
+			for _, pol := range r.Policies {
+				if pol.Name == base {
+					base = pol.Label
+					break
+				}
+			}
+		}
+		if err := t.Normalize(base); err != nil {
+			return nil, err
+		}
+		t.YLabel = "normalized makespan"
+	}
+	return t, nil
+}
+
+// Record is one JSONL result line: the aggregate of one campaign cell.
+type Record struct {
+	Scenario string             `json:"scenario"`
+	Point    int                `json:"point"`
+	X        float64            `json:"x"`
+	Set      map[string]float64 `json:"set,omitempty"`
+	Policy   string             `json:"policy"`
+	Label    string             `json:"label,omitempty"`
+	Stats    stats.Summary      `json:"stats"`
+}
+
+// WriteJSONL streams one Record per campaign cell, ordered by grid point
+// then policy. Equal spec and seed produce byte-identical output for any
+// worker count (encoding/json sorts the Set map keys).
+func (r *Result) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for pi, pt := range r.Points {
+		for qi, pol := range r.Policies {
+			rec := Record{
+				Scenario: r.Spec.Name,
+				Point:    pt.Index,
+				X:        pt.X,
+				Set:      pt.Set,
+				Policy:   pol.Name,
+				Stats:    r.Cell(pi, qi),
+			}
+			if pol.Label != pol.Name {
+				rec.Label = pol.Label
+			}
+			if err := enc.Encode(rec); err != nil {
+				return fmt.Errorf("campaign: writing JSONL: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Units returns the campaign's unit count (points × replicates).
+func (r *Result) Units() int { return len(r.Points) * r.Spec.Replicates }

@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"cosched/internal/scenario"
+)
+
+// Manifest is an append-only JSONL journal of completed campaign units.
+// The first line binds the journal to one (spec, seed) via the spec's
+// fingerprint; each following line records one finished unit. Restarting
+// a campaign with the same manifest restores those units instead of
+// recomputing them; a manifest written for a different spec is refused.
+type Manifest struct {
+	path string
+
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+type manifestHeader struct {
+	Fingerprint string `json:"fingerprint"`
+	Units       int    `json:"units"`
+	Policies    int    `json:"policies"`
+}
+
+type manifestUnit struct {
+	Unit      int       `json:"unit"`
+	Makespans []float64 `json:"makespans"`
+}
+
+// OpenManifest prepares a manifest at path. The file is created on first
+// use; an existing file is validated and replayed when the campaign
+// starts.
+func OpenManifest(path string) (*Manifest, error) {
+	if path == "" {
+		return nil, fmt.Errorf("campaign: manifest path is empty")
+	}
+	return &Manifest{path: path}, nil
+}
+
+// Close flushes and closes the journal.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f, m.enc = nil, nil
+	return err
+}
+
+// restore validates the journal against the spec, replays every recorded
+// unit through fn, and leaves the file open for appending. It returns
+// the number of restored units. A missing or empty file starts a fresh
+// journal; a truncated trailing line (interrupted write) is dropped.
+func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, makespans []float64)) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fp, err := sp.Fingerprint()
+	if err != nil {
+		return 0, err
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		return 0, err
+	}
+	head := manifestHeader{
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		Units:       len(points) * sp.Replicates,
+		Policies:    policies,
+	}
+
+	blob, err := os.ReadFile(m.path)
+	if os.IsNotExist(err) {
+		blob = nil
+	} else if err != nil {
+		return 0, fmt.Errorf("campaign: reading manifest: %w", err)
+	}
+
+	restored := 0
+	tailTruncated := false
+	if len(blob) > 0 {
+		var lines []string
+		for _, l := range strings.Split(string(blob), "\n") {
+			if strings.TrimSpace(l) != "" {
+				lines = append(lines, l)
+			}
+		}
+		if len(lines) == 0 {
+			return 0, fmt.Errorf("campaign: manifest %s has no header", m.path)
+		}
+		var got manifestHeader
+		if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+			return 0, fmt.Errorf("campaign: manifest %s header: %w", m.path, err)
+		}
+		if got != head {
+			return 0, fmt.Errorf("campaign: manifest %s was written for a different campaign (fingerprint %s/%d units, want %s/%d) — delete it or change the manifest path",
+				m.path, got.Fingerprint, got.Units, head.Fingerprint, head.Units)
+		}
+		seen := make(map[int]bool)
+		for li, line := range lines[1:] {
+			var u manifestUnit
+			if err := json.Unmarshal([]byte(line), &u); err != nil {
+				if li == len(lines)-2 && blob[len(blob)-1] != '\n' {
+					// An interrupted append leaves a truncated final line;
+					// cut it off and let the unit re-run.
+					tailTruncated = true
+					break
+				}
+				return 0, fmt.Errorf("campaign: manifest %s line %d: %w", m.path, li+2, err)
+			}
+			if u.Unit < 0 || u.Unit >= head.Units || len(u.Makespans) != policies || seen[u.Unit] {
+				return 0, fmt.Errorf("campaign: manifest %s has a corrupt unit record %d", m.path, u.Unit)
+			}
+			seen[u.Unit] = true
+			fn(u.Unit, u.Makespans)
+			restored++
+		}
+	}
+
+	if tailTruncated {
+		// Cut the partial tail line off so new appends start clean and
+		// later resumes never see it.
+		keep := strings.LastIndexByte(string(blob), '\n') + 1
+		if err := os.Truncate(m.path, int64(keep)); err != nil {
+			return 0, fmt.Errorf("campaign: repairing manifest tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(m.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: opening manifest for append: %w", err)
+	}
+	m.f, m.enc = f, json.NewEncoder(f)
+	switch {
+	case len(blob) == 0:
+		if err := m.enc.Encode(head); err != nil {
+			return 0, fmt.Errorf("campaign: writing manifest header: %w", err)
+		}
+	case !tailTruncated && blob[len(blob)-1] != '\n':
+		// The tail line parsed but lost its newline; complete it.
+		if _, err := f.WriteString("\n"); err != nil {
+			return 0, fmt.Errorf("campaign: repairing manifest tail: %w", err)
+		}
+	}
+	return restored, nil
+}
+
+// append journals one completed unit.
+func (m *Manifest) append(unit int, makespans []float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.enc == nil {
+		return fmt.Errorf("campaign: manifest %s not opened by a campaign run", m.path)
+	}
+	if err := m.enc.Encode(manifestUnit{Unit: unit, Makespans: makespans}); err != nil {
+		return fmt.Errorf("campaign: appending to manifest: %w", err)
+	}
+	return nil
+}

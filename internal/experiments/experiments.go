@@ -1,19 +1,21 @@
 // Package experiments reproduces the evaluation section of the paper
 // (§6, Figures 5–14). Each figure is a Sweep: a swept parameter, a spec
-// generator, and the series (policies) the paper plots. Replicates use
-// common random numbers — every policy of a replicate sees the identical
-// fault sequence — and results are normalized by the no-redistribution
+// generator, and the series (policies) the paper plots. Sweeps are thin
+// clients of the campaign subsystem: Run converts the sweep into a
+// declarative scenario.Spec (explicit grid points, one policy per
+// series) and executes it on the sharded campaign runner, inheriting its
+// common-random-numbers discipline — every policy of a replicate sees
+// the identical task draw and fault sequence — and its determinism
+// across worker counts. Results are normalized by the no-redistribution
 // fault baseline exactly as in the paper.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"cosched/internal/campaign"
 	"cosched/internal/core"
-	"cosched/internal/failure"
-	"cosched/internal/rng"
+	"cosched/internal/scenario"
 	"cosched/internal/stats"
 	"cosched/internal/workload"
 )
@@ -81,118 +83,68 @@ type Sweep struct {
 	Workers int
 }
 
-// Run executes the sweep and returns the aggregated (and, when Base is
-// set, normalized) table of mean makespans.
-func (s Sweep) Run() (*stats.Table, error) {
-	if len(s.X) == 0 || len(s.Series) == 0 {
-		return nil, fmt.Errorf("experiments: sweep %s has no points or series", s.ID)
+// Scenario converts the sweep into its declarative campaign form: every
+// swept x becomes an explicit grid point carrying the full parameter set
+// produced by SpecAt, and every series becomes a labelled policy. The
+// result round-trips through JSON, so paper figures can be exported,
+// edited, and replayed by cmd/campaign like any other scenario.
+func (s Sweep) Scenario() (scenario.Spec, error) {
+	if len(s.X) == 0 || len(s.Series) == 0 || s.SpecAt == nil {
+		return scenario.Spec{}, fmt.Errorf("experiments: sweep %s has no points or series", s.ID)
 	}
-	if s.Reps <= 0 {
-		s.Reps = 1
+	reps := s.Reps
+	if reps <= 0 {
+		reps = 1
 	}
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	sp := scenario.Spec{
+		Name:       s.ID,
+		Title:      s.Title,
+		XLabel:     s.XLabel,
+		Workload:   s.SpecAt(s.X[0]),
+		Base:       s.Base,
+		Replicates: reps,
+		Seed:       s.Seed,
 	}
-
-	type job struct{ xi, rep int }
-	results := make([][][]float64, len(s.X))
-	for xi := range results {
-		results[xi] = make([][]float64, len(s.Series))
-		for si := range results[xi] {
-			results[xi][si] = make([]float64, s.Reps)
-		}
+	if s.Semantics == core.SemanticsDeterministic {
+		sp.Semantics = "deterministic"
 	}
-	jobs := make(chan job)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				if err := s.runReplicate(jb.xi, jb.rep, results[jb.xi]); err != nil {
-					select {
-					case errs <- fmt.Errorf("experiments: %s x=%v rep=%d: %w", s.ID, s.X[jb.xi], jb.rep, err):
-					default:
-					}
-				}
-			}
-		}()
-	}
-	for xi := range s.X {
-		for rep := 0; rep < s.Reps; rep++ {
-			jobs <- job{xi, rep}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-
-	table := &stats.Table{Title: s.Title, XLabel: s.XLabel, YLabel: "mean makespan (s)", X: s.X}
-	for si, sp := range s.Series {
-		ys := make([]float64, len(s.X))
-		for xi := range s.X {
-			ys[xi] = stats.Mean(results[xi][si])
-		}
-		if err := table.AddSeries(sp.Name, ys); err != nil {
-			return nil, err
-		}
-	}
-	if s.Base != "" {
-		if err := table.Normalize(s.Base); err != nil {
-			return nil, err
-		}
-		table.YLabel = "normalized makespan"
-	}
-	return table, nil
-}
-
-// runReplicate executes every series of one (x, rep) cell on a shared
-// workload and a shared fault stream seed (common random numbers).
-func (s Sweep) runReplicate(xi, rep int, out [][]float64) error {
-	spec := s.SpecAt(s.X[xi])
-	taskSeed := mix(s.Seed, uint64(xi)*2654435761+1, uint64(rep)+1)
-	faultSeed := mix(s.Seed, uint64(xi)*40503+7, uint64(rep)*9176+3)
-	tasks, err := spec.Generate(rng.New(taskSeed))
-	if err != nil {
-		return err
-	}
-	for si, sp := range s.Series {
-		runSpec := spec
-		var src failure.Source
-		if sp.FaultFree {
-			runSpec.MTBFYears = 0
-		} else if runSpec.Lambda() > 0 {
-			// A fresh renewal source with the replicate's seed: every
-			// series of this replicate sees the same fault sequence.
-			gen, err := failure.NewRenewal(runSpec.P, failure.Exponential{Lambda: runSpec.Lambda()}, rng.New(faultSeed))
-			if err != nil {
-				return err
-			}
-			src = gen
-		}
-		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience()}
-		res, err := core.Run(in, sp.Policy, src, core.Options{Semantics: s.Semantics})
+	for _, series := range s.Series {
+		name, err := scenario.PolicyName(series.Policy, series.FaultFree)
 		if err != nil {
-			return err
+			return scenario.Spec{}, fmt.Errorf("experiments: sweep %s series %q: %w", s.ID, series.Name, err)
 		}
-		out[si][rep] = res.Makespan
+		sp.Policies = append(sp.Policies, name)
+		sp.Labels = append(sp.Labels, series.Name)
 	}
-	return nil
+	for _, x := range s.X {
+		w := s.SpecAt(x)
+		sp.Points = append(sp.Points, scenario.Point{X: x, Set: map[string]float64{
+			scenario.ParamN:          float64(w.N),
+			scenario.ParamP:          float64(w.P),
+			scenario.ParamMInf:       w.MInf,
+			scenario.ParamMSup:       w.MSup,
+			scenario.ParamSeqFrac:    w.SeqFraction,
+			scenario.ParamCkptUnit:   w.CkptUnit,
+			scenario.ParamMTBF:       w.MTBFYears,
+			scenario.ParamDowntime:   w.Downtime,
+			scenario.ParamSilentMTBF: w.SilentMTBFYears,
+			scenario.ParamVerifyUnit: w.VerifyUnit,
+		}})
+	}
+	return sp, nil
 }
 
-// mix combines seed material into a stream-independent 64-bit seed.
-func mix(parts ...uint64) uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
-	for _, p := range parts {
-		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
+// Run executes the sweep through the campaign runner and returns the
+// aggregated (and, when Base is set, normalized) table of mean
+// makespans.
+func (s Sweep) Run() (*stats.Table, error) {
+	sp, err := s.Scenario()
+	if err != nil {
+		return nil, err
 	}
-	return h
+	res, err := campaign.Run(sp, campaign.Options{Workers: s.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweep %s: %w", s.ID, err)
+	}
+	return res.Table()
 }

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
+	"cosched/internal/campaign"
 	"cosched/internal/core"
+	"cosched/internal/scenario"
 	"cosched/internal/workload"
 )
 
@@ -14,18 +18,59 @@ func tiny() Params {
 	return Params{Reps: 2, Seed: 7, Shrink: 0.05, Workers: 4}
 }
 
-func TestMixDeterministicAndSpread(t *testing.T) {
-	a := mix(1, 2, 3)
-	b := mix(1, 2, 3)
-	if a != b {
-		t.Fatal("mix not deterministic")
+func TestFigureScenarioRoundTrip(t *testing.T) {
+	// Every paper figure must survive the declarative round trip: sweep →
+	// scenario spec → JSON → decoded spec with identical grid and
+	// policies. This is the contract that lets cmd/campaign replay
+	// figures from spec files.
+	for _, id := range SweepIDs() {
+		sp, err := FigureScenario(id, tiny())
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("figure %s scenario invalid: %v", id, err)
+		}
+		var buf bytes.Buffer
+		if err := sp.Encode(&buf); err != nil {
+			t.Fatalf("figure %s encode: %v", id, err)
+		}
+		back, err := scenario.Decode(&buf)
+		if err != nil {
+			t.Fatalf("figure %s decode: %v", id, err)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("figure %s scenario does not round-trip through JSON", id)
+		}
 	}
-	seen := map[uint64]bool{}
-	for i := uint64(0); i < 100; i++ {
-		seen[mix(1, i, 0)] = true
+}
+
+func TestFigureThroughCampaignRunner(t *testing.T) {
+	// Acceptance path: a paper figure executed by the campaign runner
+	// from its declarative spec matches Sweep.Run exactly.
+	sw, err := ByID("5a", Params{Reps: 2, Seed: 9, Shrink: 0.04, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(seen) != 100 {
-		t.Fatal("mix collides on trivially different inputs")
+	sw.X = []float64{300, 900}
+	direct, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sw.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run(sp, campaign.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCampaign, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCampaign.CSV() != direct.CSV() {
+		t.Fatalf("campaign path diverges from Sweep.Run:\n%s\nvs\n%s", viaCampaign.CSV(), direct.CSV())
 	}
 }
 

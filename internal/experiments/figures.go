@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cosched/internal/core"
+	"cosched/internal/scenario"
 	"cosched/internal/workload"
 )
 
@@ -275,6 +276,18 @@ func ByID(id string, pr Params) (Sweep, error) {
 // SweepIDs lists every sweep-style figure identifier in paper order.
 func SweepIDs() []string {
 	return []string{"5a", "5b", "6a", "6b", "7", "8", "10", "11", "12", "13a", "13b", "13c", "14"}
+}
+
+// FigureScenario returns the declarative campaign spec of a sweep-style
+// figure: the same grid points and policies Sweep.Run would execute,
+// exported for cmd/campaign (e.g. `campaign -figure 8`), spec files, and
+// edited variants the paper never plotted.
+func FigureScenario(id string, pr Params) (scenario.Spec, error) {
+	sw, err := ByID(id, pr)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	return sw.Scenario()
 }
 
 // policyNames maps Figure 9's policies to their display names.

@@ -67,6 +67,28 @@ func (w Weibull) Rate() float64 {
 	return 1 / (w.Scale * math.Gamma(1+1/w.Shape))
 }
 
+// LawForRate builds a named law with the given long-run per-processor
+// failure rate. Supported names are "" or "exponential" (shape ignored)
+// and "weibull", whose scale is chosen so that the mean inter-arrival
+// time is 1/rate for the given shape. It is the bridge from declarative
+// scenario specs to the fault simulator.
+func LawForRate(name string, rate, shape float64) (Law, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("failure: law %q needs a positive rate, got %v", name, rate)
+	}
+	switch name {
+	case "", "exponential":
+		return Exponential{Lambda: rate}, nil
+	case "weibull":
+		if shape <= 0 {
+			return nil, fmt.Errorf("failure: weibull law needs a positive shape, got %v", shape)
+		}
+		return Weibull{Shape: shape, Scale: 1 / (rate * math.Gamma(1+1/shape))}, nil
+	default:
+		return nil, fmt.Errorf("failure: unknown law %q (want exponential or weibull)", name)
+	}
+}
+
 // Null is a fault-free source.
 type Null struct{}
 

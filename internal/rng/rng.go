@@ -47,6 +47,27 @@ func (r *Source) Reseed(seed uint64) {
 	}
 }
 
+// SubSeed derives a stream seed from a master seed and a path of stream
+// identifiers (e.g. a named stream kind, a grid-point index, a replicate
+// index). The derivation is a splitmix64 absorption of every path
+// element, so seeds are deterministic, order-sensitive, and well spread
+// even for adjacent integer paths. The campaign runner uses it to give
+// every run unit its own stream regardless of which shard executes it.
+func SubSeed(master uint64, path ...uint64) uint64 {
+	st := master
+	h := splitmix64(&st)
+	for _, p := range path {
+		st = h ^ p
+		h = splitmix64(&st)
+	}
+	return h
+}
+
+// NewStream returns a Source seeded with SubSeed(master, path...).
+func NewStream(master uint64, path ...uint64) *Source {
+	return New(SubSeed(master, path...))
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.

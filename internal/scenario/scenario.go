@@ -1,0 +1,424 @@
+// Package scenario defines the declarative experiment specification of
+// the campaign subsystem. A Spec is a JSON-encodable description of a
+// Monte-Carlo study: a base workload (pack shape, platform size,
+// checkpoint cost model), a failure regime (exponential or Weibull law
+// with a per-processor MTBF), a list of redistribution policies, a
+// replicate count, and a parameter grid — either cartesian Axes expanded
+// into every combination, or an explicit Points list for irregular
+// sweeps (this is how the paper figures are expressed).
+//
+// Specs round-trip through JSON losslessly, validate eagerly, and carry
+// a stable fingerprint so that campaign manifests can detect when a
+// resume targets a different study. internal/campaign executes them.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/workload"
+)
+
+// FailureSpec selects the fault inter-arrival law. The rate always comes
+// from the workload's MTBF; the law only shapes the distribution.
+type FailureSpec struct {
+	// Law is "" or "exponential" (the paper's model) or "weibull".
+	Law string `json:"law,omitempty"`
+	// Shape is the Weibull shape parameter k (shape < 1 models infant
+	// mortality). Ignored for the exponential law.
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// Axis is one dimension of a cartesian parameter grid.
+type Axis struct {
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// Point is one explicit grid point: the x-coordinate used for tables and
+// a set of parameter overrides applied to the base workload.
+type Point struct {
+	X   float64            `json:"x"`
+	Set map[string]float64 `json:"set,omitempty"`
+}
+
+// Spec is a complete declarative campaign description.
+type Spec struct {
+	Name   string `json:"name"`
+	Title  string `json:"title,omitempty"`
+	XLabel string `json:"xlabel,omitempty"`
+
+	// Workload is the base configuration; grid parameters override its
+	// fields point by point.
+	Workload workload.Spec `json:"workload"`
+	Failure  FailureSpec   `json:"failure,omitempty"`
+
+	// Policies names the redistribution policies run on every unit (see
+	// ParsePolicy). Labels, when present, gives them display names.
+	Policies []string `json:"policies"`
+	Labels   []string `json:"labels,omitempty"`
+	// Base is the policy (by label, falling back to name) whose mean
+	// makespan normalizes every series; "" keeps raw seconds.
+	Base string `json:"base,omitempty"`
+
+	Replicates int    `json:"replicates"`
+	Seed       uint64 `json:"seed"`
+	// Semantics is "" or "expected" (paper-faithful) or "deterministic".
+	Semantics string `json:"semantics,omitempty"`
+
+	// Axes expands into the cartesian product of its values (first axis
+	// outermost; its value is the point's x-coordinate). Points lists
+	// grid points explicitly instead. At most one of the two may be set;
+	// neither means a single point at the base workload.
+	Axes   []Axis  `json:"axes,omitempty"`
+	Points []Point `json:"points,omitempty"`
+}
+
+// Grid parameter names, each addressing one workload.Spec field.
+const (
+	ParamN          = "n"
+	ParamP          = "p"
+	ParamMInf       = "minf"
+	ParamMSup       = "msup"
+	ParamSeqFrac    = "f"
+	ParamCkptUnit   = "c"
+	ParamMTBF       = "mtbf"
+	ParamDowntime   = "downtime"
+	ParamSilentMTBF = "silent_mtbf"
+	ParamVerifyUnit = "verify_unit"
+)
+
+// Params lists every grid parameter name in canonical order.
+func Params() []string {
+	return []string{ParamN, ParamP, ParamMInf, ParamMSup, ParamSeqFrac,
+		ParamCkptUnit, ParamMTBF, ParamDowntime, ParamSilentMTBF, ParamVerifyUnit}
+}
+
+// apply sets the workload field addressed by param.
+func apply(s *workload.Spec, param string, v float64) error {
+	switch param {
+	case ParamN:
+		s.N = int(v)
+	case ParamP:
+		s.P = int(v)
+	case ParamMInf:
+		s.MInf = v
+	case ParamMSup:
+		s.MSup = v
+	case ParamSeqFrac:
+		s.SeqFraction = v
+	case ParamCkptUnit:
+		s.CkptUnit = v
+	case ParamMTBF:
+		s.MTBFYears = v
+	case ParamDowntime:
+		s.Downtime = v
+	case ParamSilentMTBF:
+		s.SilentMTBFYears = v
+	case ParamVerifyUnit:
+		s.VerifyUnit = v
+	default:
+		return fmt.Errorf("scenario: unknown grid parameter %q (want one of %s)",
+			param, strings.Join(Params(), ", "))
+	}
+	return nil
+}
+
+// PolicySpec is one resolved policy of a scenario.
+type PolicySpec struct {
+	Name   string // canonical policy name (see ParsePolicy)
+	Label  string // display name (defaults to Name)
+	Policy core.Policy
+	// FaultFree runs the policy with λ = 0 and no fault source: the
+	// paper's fault-free-context reference curves.
+	FaultFree bool
+}
+
+// policyTable maps canonical names to policy combinations. The "ff-"
+// prefix turns any of them into its fault-free variant.
+var policyTable = map[string]core.Policy{
+	"norc":   core.NoRedistribution,
+	"ig-eg":  core.IGEndGreedy,
+	"ig-el":  core.IGEndLocal,
+	"stf-eg": core.STFEndGreedy,
+	"stf-el": core.STFEndLocal,
+	"eg":     {OnEnd: core.EndGreedy},
+	"el":     {OnEnd: core.EndLocal},
+}
+
+// ParsePolicy resolves a policy name: "norc", "ig-eg", "ig-el",
+// "stf-eg", "stf-el" (the paper's §6.2 combinations), "eg"/"el"
+// (end-rule only), each optionally prefixed with "ff-" for the
+// fault-free-context variant (λ forced to 0).
+func ParsePolicy(name string) (PolicySpec, error) {
+	base := strings.ToLower(name)
+	ff := strings.HasPrefix(base, "ff-")
+	if ff {
+		base = strings.TrimPrefix(base, "ff-")
+	}
+	pol, ok := policyTable[base]
+	if !ok {
+		return PolicySpec{}, fmt.Errorf("scenario: unknown policy %q (want norc, ig-eg, ig-el, stf-eg, stf-el, eg or el, optionally ff- prefixed)", name)
+	}
+	return PolicySpec{Name: strings.ToLower(name), Label: strings.ToLower(name), Policy: pol, FaultFree: ff}, nil
+}
+
+// PolicyName returns the canonical name of a policy combination, with
+// the "ff-" prefix when faultFree is set. It is the inverse of
+// ParsePolicy for every combination the table knows.
+func PolicyName(p core.Policy, faultFree bool) (string, error) {
+	// Fixed lookup order keeps the fully-qualified names ahead of the
+	// "eg"/"el" aliases and the result deterministic.
+	for _, name := range []string{"norc", "ig-eg", "ig-el", "stf-eg", "stf-el", "eg", "el"} {
+		if policyTable[name] == p {
+			if faultFree {
+				return "ff-" + name, nil
+			}
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("scenario: policy %v has no canonical name", p)
+}
+
+// PolicySpecs resolves the spec's policy list, applying Labels.
+func (s Spec) PolicySpecs() ([]PolicySpec, error) {
+	if len(s.Policies) == 0 {
+		return nil, fmt.Errorf("scenario: %s lists no policies", s.ident())
+	}
+	if len(s.Labels) != 0 && len(s.Labels) != len(s.Policies) {
+		return nil, fmt.Errorf("scenario: %s has %d labels for %d policies",
+			s.ident(), len(s.Labels), len(s.Policies))
+	}
+	out := make([]PolicySpec, len(s.Policies))
+	seen := map[string]bool{}
+	for i, name := range s.Policies {
+		ps, err := ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(s.Labels) != 0 {
+			ps.Label = s.Labels[i]
+		}
+		if seen[ps.Label] {
+			return nil, fmt.Errorf("scenario: %s repeats policy label %q", s.ident(), ps.Label)
+		}
+		seen[ps.Label] = true
+		out[i] = ps
+	}
+	return out, nil
+}
+
+// RunPoint is one expanded grid point: its index in expansion order, the
+// x-coordinate plotted for it, the parameter overrides that produced it
+// (sorted for deterministic encoding), and the fully-resolved workload.
+type RunPoint struct {
+	Index int
+	X     float64
+	Set   map[string]float64
+	Spec  workload.Spec
+}
+
+// SortedSet returns the point's overrides as a deterministic key order.
+func (p RunPoint) SortedSet() []string {
+	keys := make([]string, 0, len(p.Set))
+	for k := range p.Set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Expand resolves the grid into run points. Explicit Points expand one
+// to one; Axes expand into their cartesian product in row-major order
+// (first axis outermost, its value doubling as the x-coordinate); an
+// empty grid yields the single base-workload point with x = 0.
+func (s Spec) Expand() ([]RunPoint, error) {
+	if len(s.Axes) != 0 && len(s.Points) != 0 {
+		return nil, fmt.Errorf("scenario: %s sets both axes and points", s.ident())
+	}
+	var out []RunPoint
+	switch {
+	case len(s.Points) != 0:
+		out = make([]RunPoint, 0, len(s.Points))
+		for _, pt := range s.Points {
+			w := s.Workload
+			set := make(map[string]float64, len(pt.Set))
+			for _, k := range sortedKeys(pt.Set) {
+				if err := apply(&w, k, pt.Set[k]); err != nil {
+					return nil, err
+				}
+				set[k] = pt.Set[k]
+			}
+			out = append(out, RunPoint{Index: len(out), X: pt.X, Set: set, Spec: w})
+		}
+	case len(s.Axes) != 0:
+		total := 1
+		for _, ax := range s.Axes {
+			if ax.Param == "" || len(ax.Values) == 0 {
+				return nil, fmt.Errorf("scenario: %s has an empty axis %q", s.ident(), ax.Param)
+			}
+			if total > 1<<20/len(ax.Values) {
+				return nil, fmt.Errorf("scenario: %s grid exceeds 2^20 points", s.ident())
+			}
+			total *= len(ax.Values)
+		}
+		out = make([]RunPoint, 0, total)
+		idx := make([]int, len(s.Axes))
+		for {
+			w := s.Workload
+			set := make(map[string]float64, len(s.Axes))
+			for ai, ax := range s.Axes {
+				if err := apply(&w, ax.Param, ax.Values[idx[ai]]); err != nil {
+					return nil, err
+				}
+				set[ax.Param] = ax.Values[idx[ai]]
+			}
+			out = append(out, RunPoint{
+				Index: len(out),
+				X:     s.Axes[0].Values[idx[0]],
+				Set:   set,
+				Spec:  w,
+			})
+			// Odometer increment, last axis fastest.
+			ai := len(idx) - 1
+			for ; ai >= 0; ai-- {
+				idx[ai]++
+				if idx[ai] < len(s.Axes[ai].Values) {
+					break
+				}
+				idx[ai] = 0
+			}
+			if ai < 0 {
+				break
+			}
+		}
+	default:
+		out = []RunPoint{{Index: 0, X: 0, Set: map[string]float64{}, Spec: s.Workload}}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CoreSemantics maps the spec's semantics string to the engine's enum.
+func (s Spec) CoreSemantics() (core.Semantics, error) {
+	switch s.Semantics {
+	case "", "expected":
+		return core.SemanticsExpected, nil
+	case "deterministic":
+		return core.SemanticsDeterministic, nil
+	default:
+		return 0, fmt.Errorf("scenario: %s has unknown semantics %q (want expected or deterministic)", s.ident(), s.Semantics)
+	}
+}
+
+func (s Spec) ident() string {
+	if s.Name == "" {
+		return "spec"
+	}
+	return fmt.Sprintf("spec %q", s.Name)
+}
+
+// Validate checks the whole spec: policy names, labels, base, semantics,
+// failure law, replicate count, and that every expanded grid point
+// yields a simulable workload.
+func (s Spec) Validate() error {
+	if s.Replicates <= 0 {
+		return fmt.Errorf("scenario: %s needs a positive replicate count, got %d", s.ident(), s.Replicates)
+	}
+	pols, err := s.PolicySpecs()
+	if err != nil {
+		return err
+	}
+	if s.Base != "" {
+		found := false
+		for _, p := range pols {
+			if p.Label == s.Base || p.Name == s.Base {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("scenario: %s normalization base %q is not among its policies", s.ident(), s.Base)
+		}
+	}
+	if _, err := s.CoreSemantics(); err != nil {
+		return err
+	}
+	// A unit rate probes the law's name and shape; the real rate comes
+	// from each grid point's MTBF at run time. Delegating keeps
+	// failure.LawForRate the single source of truth for supported laws.
+	if _, err := failure.LawForRate(s.Failure.Law, 1, s.Failure.Shape); err != nil {
+		return fmt.Errorf("scenario: %s: %w", s.ident(), err)
+	}
+	points, err := s.Expand()
+	if err != nil {
+		return err
+	}
+	needFaults := false
+	for _, p := range pols {
+		if !p.FaultFree {
+			needFaults = true
+		}
+	}
+	for _, pt := range points {
+		w := pt.Spec
+		if !needFaults {
+			// Fault-free-only scenarios tolerate λ = 0 workloads with
+			// silent-error fields, which Generate would otherwise reject.
+			w.MTBFYears, w.SilentMTBFYears = 0, 0
+		}
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("scenario: %s point %d (x=%v): %w", s.ident(), pt.Index, pt.X, err)
+		}
+	}
+	return nil
+}
+
+// Decode reads and validates a JSON spec.
+func Decode(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Encode writes the spec as indented JSON.
+func (s Spec) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Fingerprint is a stable 64-bit digest of the spec's canonical JSON
+// form (encoding/json emits struct fields in declaration order and map
+// keys sorted, so equal specs always hash equally). Campaign manifests
+// store it to refuse resuming a different study.
+func (s Spec) Fingerprint() (uint64, error) {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: fingerprinting spec: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	return h.Sum64(), nil
+}

@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cosched/internal/core"
+	"cosched/internal/workload"
+)
+
+// testSpec is a small valid two-axis scenario.
+func testSpec() Spec {
+	w := workload.Default()
+	w.N = 2
+	w.P = 8
+	w.MTBFYears = 5
+	return Spec{
+		Name:       "unit",
+		Title:      "unit scenario",
+		XLabel:     "#procs",
+		Workload:   w,
+		Policies:   []string{"norc", "ig-el", "ff-el"},
+		Base:       "norc",
+		Replicates: 2,
+		Seed:       7,
+		Axes: []Axis{
+			{Param: ParamP, Values: []float64{8, 12, 16}},
+			{Param: ParamMTBF, Values: []float64{5, 10}},
+		},
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	sp := testSpec()
+	sp.Failure = FailureSpec{Law: "weibull", Shape: 0.7}
+	sp.Labels = []string{"base", "greedy", "bound"}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, back) {
+		t.Fatalf("round trip lost information:\n%+v\nvs\n%+v", sp, back)
+	}
+	// Decode must reject unknown fields — typos in hand-written specs.
+	if _, err := Decode(strings.NewReader(`{"name":"x","replicas":3}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestExpandCartesian(t *testing.T) {
+	points, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("3×2 grid expanded to %d points", len(points))
+	}
+	// Row-major order, first axis outermost, x = first-axis value.
+	wantX := []float64{8, 8, 12, 12, 16, 16}
+	wantMTBF := []float64{5, 10, 5, 10, 5, 10}
+	for i, pt := range points {
+		if pt.Index != i {
+			t.Fatalf("point %d has index %d", i, pt.Index)
+		}
+		if pt.X != wantX[i] || pt.Set[ParamMTBF] != wantMTBF[i] {
+			t.Fatalf("point %d = (x=%v, mtbf=%v), want (%v, %v)",
+				i, pt.X, pt.Set[ParamMTBF], wantX[i], wantMTBF[i])
+		}
+		if pt.Spec.P != int(wantX[i]) || pt.Spec.MTBFYears != wantMTBF[i] {
+			t.Fatalf("point %d workload not overridden: %+v", i, pt.Spec)
+		}
+		if pt.Spec.N != 2 {
+			t.Fatalf("point %d lost base workload fields", i)
+		}
+	}
+}
+
+func TestExpandExplicitAndEmpty(t *testing.T) {
+	sp := testSpec()
+	sp.Axes = nil
+	sp.Points = []Point{
+		{X: 1, Set: map[string]float64{ParamP: 8}},
+		{X: 2, Set: map[string]float64{ParamP: 12, ParamN: 3}},
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[1].Spec.P != 12 || points[1].Spec.N != 3 {
+		t.Fatalf("explicit points misexpanded: %+v", points)
+	}
+
+	sp.Points = nil
+	points, err = sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Spec != sp.Workload {
+		t.Fatalf("empty grid must yield the base workload, got %+v", points)
+	}
+
+	sp.Points = []Point{{X: 1}}
+	sp.Axes = []Axis{{Param: ParamP, Values: []float64{8}}}
+	if _, err := sp.Expand(); err == nil {
+		t.Fatal("axes+points accepted")
+	}
+}
+
+func TestExpandRejectsUnknownParam(t *testing.T) {
+	sp := testSpec()
+	sp.Axes = []Axis{{Param: "warp", Values: []float64{1}}}
+	if _, err := sp.Expand(); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("unknown axis param not rejected: %v", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]struct {
+		pol core.Policy
+		ff  bool
+	}{
+		"norc":      {core.NoRedistribution, false},
+		"IG-EG":     {core.IGEndGreedy, false},
+		"ig-el":     {core.IGEndLocal, false},
+		"stf-eg":    {core.STFEndGreedy, false},
+		"stf-el":    {core.STFEndLocal, false},
+		"el":        {core.Policy{OnEnd: core.EndLocal}, false},
+		"ff-el":     {core.Policy{OnEnd: core.EndLocal}, true},
+		"ff-norc":   {core.NoRedistribution, true},
+		"ff-stf-eg": {core.STFEndGreedy, true},
+	}
+	for name, want := range cases {
+		ps, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ps.Policy != want.pol || ps.FaultFree != want.ff {
+			t.Fatalf("%s parsed to %+v", name, ps)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPolicyNameInverse(t *testing.T) {
+	for _, name := range []string{"norc", "ig-eg", "ig-el", "stf-eg", "stf-el", "eg", "el", "ff-el", "ff-norc"} {
+		ps, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PolicyName(ps.Policy, ps.FaultFree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != name {
+			t.Fatalf("PolicyName(ParsePolicy(%s)) = %s", name, got)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Replicates = 0 },
+		func(s *Spec) { s.Policies = nil },
+		func(s *Spec) { s.Policies = []string{"norc", "warp"} },
+		func(s *Spec) { s.Labels = []string{"just-one"} },
+		func(s *Spec) { s.Labels = []string{"a", "a", "a"} },
+		func(s *Spec) { s.Base = "missing" },
+		func(s *Spec) { s.Semantics = "quantum" },
+		func(s *Spec) { s.Failure = FailureSpec{Law: "weibull"} }, // no shape
+		func(s *Spec) { s.Failure = FailureSpec{Law: "pareto"} },
+		func(s *Spec) { s.Axes[0].Values = []float64{7} }, // odd p
+		func(s *Spec) { s.Axes[0].Values = []float64{2} }, // p < 2n
+		func(s *Spec) { s.Axes[0].Values = nil },
+	}
+	for i, mutate := range bad {
+		sp := testSpec()
+		mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a, err := testSpec().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSpec().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("fingerprint not stable")
+	}
+	sp := testSpec()
+	sp.Seed++
+	c, err := sp.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("fingerprint ignores the seed")
+	}
+}

@@ -89,6 +89,21 @@ func (a *Accumulator) StdErr() float64 {
 // interval for the mean.
 func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
 
+// Summary is the JSON-encodable snapshot of an Accumulator, used by the
+// campaign runner's result sinks.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summary snapshots the accumulator's state.
+func (a *Accumulator) Summary() Summary {
+	return Summary{N: a.n, Mean: a.Mean(), StdDev: a.StdDev(), Min: a.min, Max: a.max}
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -15,23 +15,24 @@ import (
 const YearSeconds = 365.25 * 24 * 3600
 
 // Spec is a complete simulation configuration. The zero value is not
-// useful; start from Default() and override.
+// useful; start from Default() and override. The JSON encoding is the
+// wire form used by declarative scenario specs (internal/scenario).
 type Spec struct {
-	N int // number of tasks in the pack
-	P int // number of processors (even, ≥ 2N)
+	N int `json:"n"` // number of tasks in the pack
+	P int `json:"p"` // number of processors (even, ≥ 2N)
 
-	MInf, MSup  float64 // problem-size range; MInf = MSup gives homogeneity
-	SeqFraction float64 // f, sequential fraction of Eq. (10)
-	CkptUnit    float64 // c: time to checkpoint one data unit, C_i = c·m_i
-
-	MTBFYears float64 // per-processor MTBF in years; 0 = fault-free
-	Downtime  float64 // D, seconds
-	Rule      model.PeriodRule
+	MInf        float64          `json:"minf"`           // problem-size range lower bound
+	MSup        float64          `json:"msup"`           // upper bound; MInf = MSup gives homogeneity
+	SeqFraction float64          `json:"f"`              // f, sequential fraction of Eq. (10)
+	CkptUnit    float64          `json:"c"`              // c: time to checkpoint one data unit, C_i = c·m_i
+	MTBFYears   float64          `json:"mtbf"`           // per-processor MTBF in years; 0 = fault-free
+	Downtime    float64          `json:"downtime"`       // D, seconds
+	Rule        model.PeriodRule `json:"rule,omitempty"` // checkpoint-period rule (default Young)
 
 	// Silent-error extension (0 in the paper): per-processor silent MTBF
 	// in years and verification cost per data unit (V_i = VerifyUnit·m_i).
-	SilentMTBFYears float64
-	VerifyUnit      float64
+	SilentMTBFYears float64 `json:"silent_mtbf,omitempty"`
+	VerifyUnit      float64 `json:"verify_unit,omitempty"`
 }
 
 // Default returns the paper's default configuration (§6.1): n=100,
