@@ -336,7 +336,9 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 }
 
 // BenchmarkEngineSingleRun measures one full simulated execution at the
-// paper's default dimensions divided by ten (n=10, p=100, MTBF 10y).
+// paper's default dimensions divided by ten (n=10, p=100, MTBF 10y),
+// through the one-shot core.Run path (fresh Simulator per run). Compare
+// with BenchmarkRunSingle to see what arena reuse buys.
 func BenchmarkEngineSingleRun(b *testing.B) {
 	spec := workload.Default()
 	spec.N = 10
@@ -347,6 +349,7 @@ func BenchmarkEngineSingleRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	in := core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience()}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src, err := failure.NewRenewal(in.P, failure.Exponential{Lambda: spec.Lambda()}, rng.New(uint64(i)))
@@ -355,6 +358,57 @@ func BenchmarkEngineSingleRun(b *testing.B) {
 		}
 		if _, err := core.Run(in, core.IGEndGreedy, src, core.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunSingle is the Monte-Carlo steady state: the same workload
+// as BenchmarkEngineSingleRun driven through one persistent Simulator,
+// one reusable Renewal fault generator and one reseeded RNG. After the
+// first iteration warms the arenas, the loop body performs (near) zero
+// allocations — the target of the zero-allocation core refactor.
+func BenchmarkRunSingle(b *testing.B) {
+	spec := workload.Default()
+	spec.N = 10
+	spec.P = 100
+	spec.MTBFYears = 10
+	tasks, err := spec.Generate(rng.New(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience()}
+	// Box the law once: interface conversion at the Reset call site
+	// would otherwise be the loop's only allocation.
+	var law failure.Law = failure.Exponential{Lambda: spec.Lambda()}
+	simulator := core.NewSimulator()
+	var renewal failure.Renewal
+	src := rng.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reseed(uint64(i))
+		if err := renewal.Reset(in.P, law, src); err != nil {
+			b.Fatal(err)
+		}
+		if err := simulator.Reset(in, core.IGEndGreedy, &renewal, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := simulator.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryDispatch measures the policy registry's name
+// resolution (PolicyByName over the full cross product, the -list-
+// policies / scenario-spec path). Heuristic dispatch itself is resolved
+// once per Reset into a plain interface call, so this lookup is the
+// only registry cost a campaign ever pays per simulator reset.
+func BenchmarkRegistryDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.PolicyByName("IteratedGreedy-EndLocal"); !ok {
+			b.Fatal("IteratedGreedy-EndLocal not registered")
 		}
 	}
 }

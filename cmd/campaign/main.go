@@ -40,8 +40,14 @@ func main() {
 		printSpec = flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
 		example   = flag.Bool("example", false, "print an example scenario spec and exit")
 		quiet     = flag.Bool("quiet", false, "suppress the ASCII chart and progress")
+		listPol   = flag.Bool("list-policies", false, "list accepted policy names and exit")
 	)
 	flag.Parse()
+
+	if *listPol {
+		scenario.FprintPolicies(os.Stdout)
+		return
+	}
 
 	if *example {
 		if err := exampleSpec().Encode(os.Stdout); err != nil {

@@ -16,17 +16,10 @@ import (
 	"cosched/internal/core"
 	"cosched/internal/failure"
 	"cosched/internal/rng"
+	"cosched/internal/scenario"
 	"cosched/internal/trace"
 	"cosched/internal/workload"
 )
-
-var policies = map[string]core.Policy{
-	"norc":   core.NoRedistribution,
-	"ig-eg":  core.IGEndGreedy,
-	"ig-el":  core.IGEndLocal,
-	"stf-eg": core.STFEndGreedy,
-	"stf-el": core.STFEndLocal,
-}
 
 func main() {
 	var (
@@ -38,19 +31,35 @@ func main() {
 		ckptUnit  = flag.Float64("c", 1, "checkpoint cost per data unit (C_i = c·m_i)")
 		mtbf      = flag.Float64("mtbf", 100, "per-processor MTBF in years (0 = fault-free)")
 		downtime  = flag.Float64("downtime", 60, "downtime D in seconds")
-		policy    = flag.String("policy", "ig-el", "policy: norc | ig-eg | ig-el | stf-eg | stf-el")
+		policy    = flag.String("policy", "ig-el", "policy name or registry composition (see -list-policies)")
 		seed      = flag.Uint64("seed", 1, "master random seed")
 		faultFile = flag.String("faults", "", "replay a JSONL fault trace instead of generating faults")
 		semantics = flag.String("semantics", "expected", "end-event semantics: expected | deterministic")
 		verbose   = flag.Bool("verbose", false, "print the full event timeline")
 		traceOut  = flag.String("trace", "", "write the JSONL event trace to this file")
 		breakdown = flag.Bool("breakdown", false, "print the waste-breakdown decomposition")
+		listPol   = flag.Bool("list-policies", false, "list accepted policy names and exit")
 	)
 	flag.Parse()
 
-	pol, ok := policies[strings.ToLower(*policy)]
-	if !ok {
-		fatalf("unknown policy %q (want norc, ig-eg, ig-el, stf-eg or stf-el)", *policy)
+	if *listPol {
+		scenario.FprintPolicies(os.Stdout)
+		return
+	}
+
+	ps, err := scenario.ParsePolicy(*policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pol := ps.Policy
+	if ps.FaultFree {
+		// The ff- prefix is the fault-free-context variant: same
+		// redistribution rules, λ forced to 0. Replaying a fault trace
+		// into a fault-free model would mix the two regimes.
+		if *faultFile != "" {
+			fatalf("-policy %s is fault-free; it cannot be combined with -faults", *policy)
+		}
+		*mtbf = 0
 	}
 	// Check flag constraints up front with flag-level messages, before
 	// the spec reaches the engine.

@@ -10,8 +10,9 @@
 //
 // Layout:
 //
-//   - internal/core        — the paper's Algorithms 1–5 and the
-//     event-driven simulation engine
+//   - internal/core        — the paper's Algorithms 1–5, the reusable
+//     zero-allocation simulation engine (Simulator) and the pluggable
+//     policy registry
 //   - internal/model       — execution-time and resilience formulas
 //     (Eq. 1–10)
 //   - internal/failure     — fault simulator (exponential/Weibull

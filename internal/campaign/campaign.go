@@ -123,9 +123,13 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One simulation arena per worker: every unit resets it in
+			// place, so the hot loop stops allocating after the first
+			// few units warm the buffers up.
+			ws := newWorkerState()
 			for unit := range units {
 				pi, rep := unit/sp.Replicates, unit%sp.Replicates
-				makespans, err := runUnit(sp, points[pi], policies, semantics, rep)
+				makespans, err := ws.runUnit(sp, points[pi], policies, semantics, rep)
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, points[pi].X, rep, err):
@@ -168,11 +172,33 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// runUnit executes every policy of one (point, replicate) cell. The unit
-// derives its streams purely from (seed, point index, replicate), so any
-// shard computes identical numbers, and all policies share the task draw
-// and the fault-stream seed (common random numbers).
-func runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int) ([]float64, error) {
+// workerState is the per-goroutine arena of the campaign: a reusable
+// simulator, a reusable renewal fault generator, reseedable RNG streams,
+// and the per-unit makespan buffer. Nothing here is shared between
+// workers, and everything is reset in place between units.
+type workerState struct {
+	simulator *core.Simulator
+	renewal   failure.Renewal
+	taskRNG   *rng.Source
+	faultRNG  *rng.Source
+	out       []float64
+}
+
+func newWorkerState() *workerState {
+	return &workerState{
+		simulator: core.NewSimulator(),
+		taskRNG:   rng.New(0),
+		faultRNG:  rng.New(0),
+	}
+}
+
+// runUnit executes every policy of one (point, replicate) cell on the
+// worker's persistent arena. The unit derives its streams purely from
+// (seed, point index, replicate), so any shard computes identical
+// numbers, and all policies share the task draw and the fault-stream
+// seed (common random numbers). The returned slice is reused by the
+// next unit of this worker; Run copies what it keeps.
+func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int) ([]float64, error) {
 	taskSeed := rng.SubSeed(sp.Seed, streamTasks, uint64(pt.Index), uint64(rep))
 	faultSeed := rng.SubSeed(sp.Seed, streamFaults, uint64(pt.Index), uint64(rep))
 	genSpec := pt.Spec
@@ -181,11 +207,15 @@ func runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicyS
 		// the failure fields, so generation must not reject them either.
 		genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
 	}
-	tasks, err := genSpec.Generate(rng.New(taskSeed))
+	ws.taskRNG.Reseed(taskSeed)
+	tasks, err := genSpec.Generate(ws.taskRNG)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(policies))
+	if cap(ws.out) < len(policies) {
+		ws.out = make([]float64, len(policies))
+	}
+	out := ws.out[:len(policies)]
 	for qi, pol := range policies {
 		runSpec := pt.Spec
 		var src failure.Source
@@ -196,14 +226,20 @@ func runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicyS
 			if err != nil {
 				return nil, err
 			}
-			gen, err := failure.NewRenewal(runSpec.P, law, rng.New(faultSeed))
-			if err != nil {
+			// Every policy of the unit replays the same fault stream
+			// (common random numbers), so the generator is reseeded, not
+			// continued, between policies.
+			ws.faultRNG.Reseed(faultSeed)
+			if err := ws.renewal.Reset(runSpec.P, law, ws.faultRNG); err != nil {
 				return nil, err
 			}
-			src = gen
+			src = &ws.renewal
 		}
 		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience()}
-		r, err := core.Run(in, pol.Policy, src, core.Options{Semantics: semantics})
+		if err := ws.simulator.Reset(in, pol.Policy, src, core.Options{Semantics: semantics}); err != nil {
+			return nil, err
+		}
+		r, err := ws.simulator.Run()
 		if err != nil {
 			return nil, err
 		}

@@ -26,62 +26,212 @@ type taskState struct {
 	lastSig int     // allocation held when the task completed
 }
 
-// engine drives one simulated execution (Algorithm 2).
-type engine struct {
-	in   Instance
-	pol  Policy
-	opt  Options
-	plat *platform.Platform
-	st   []taskState
-	q    sim.Queue
-	src  failure.Source
-	next failure.Fault
-	have bool
-	live int
-	ctr  Counters
-	hist []Snapshot
-	now  float64
-	acct *accounting
+// Simulator drives simulated executions of Algorithm 2. It is an arena:
+// every run-sized structure — task states, the event queue, the
+// eligibility buffer, the policy scratch, the Result slices — is
+// preallocated by Reset and reused across runs, so a Monte-Carlo loop
+// that calls Reset+Run per replicate allocates nothing in steady state.
+//
+// A Simulator is not safe for concurrent use; campaign-level parallelism
+// uses one Simulator per worker. The Result returned by Run aliases the
+// simulator's arenas (Finish, Sigma, History): callers that keep results
+// across the next Reset must copy them (see DESIGN.md §7).
+type Simulator struct {
+	in     Instance
+	pol    Policy
+	endH   EndHeuristic
+	failH  FailHeuristic
+	opt    Options
+	plat   *platform.Platform
+	st     []taskState
+	q      sim.Queue
+	src    failure.Source
+	next   failure.Fault
+	have   bool
+	live   int
+	ctr    Counters
+	hist   []Snapshot
+	now    float64
+	acct   *accounting
+	primed bool
+
+	// Arenas reused across runs.
+	sigma0   []int         // initial schedule (Algorithm 1)
+	elig     []int         // eligibility buffer
+	finish   []float64     // Result.Finish backing
+	sigmaRes []int         // Result.Sigma backing
+	heap     taskHeap      // shared by Algorithm 1 and the heuristics
+	d        Decision      // policy scratch (index-addressed slices)
+	tuEval   model.MinEval // spare evaluator for one-shot tU queries
+}
+
+// NewSimulator returns an empty simulator; Reset sizes it to an instance.
+func NewSimulator() *Simulator {
+	return &Simulator{}
 }
 
 // Run simulates the execution of the pack under the given policy and
 // fault source, starting from the optimal no-redistribution schedule
 // (Algorithm 1) and iterating over failure and termination events
-// (Algorithm 2).
+// (Algorithm 2). It is the one-shot convenience form: each call builds a
+// fresh Simulator, so the Result owns its slices. Loops should hold a
+// Simulator and call Reset+Run instead.
 func Run(in Instance, pol Policy, src failure.Source, opt Options) (Result, error) {
-	sigma, err := InitialSchedule(in)
-	if err != nil {
+	s := NewSimulator()
+	if err := s.Reset(in, pol, src, opt); err != nil {
 		return Result{}, err
+	}
+	return s.Run()
+}
+
+// Reset primes the simulator for one run: it validates the instance,
+// resolves the policy's heuristics against the registry, computes the
+// initial schedule (Algorithm 1), re-arms the platform, the event queue
+// and the per-task state, and preallocates (or reuses) every arena. The
+// fault source is consumed by the subsequent Run.
+func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Options) error {
+	// A failed Reset must not leave the simulator runnable with the
+	// previous configuration.
+	e.primed = false
+	endH, failH, err := resolveHeuristics(pol)
+	if err != nil {
+		return err
+	}
+	if err := in.Validate(); err != nil {
+		return err
 	}
 	if src == nil {
 		src = failure.Null{}
 	}
-	plat, err := platform.New(in.P)
-	if err != nil {
-		return Result{}, err
-	}
-	e := &engine{in: in, pol: pol, opt: opt, plat: plat, src: src}
+	n := len(in.Tasks)
+	e.in = in
+	e.pol = pol
+	e.endH, e.failH = endH, failH
+	e.opt = opt
 	if e.opt.MaxEvents <= 0 {
 		e.opt.MaxEvents = defaultMaxEvents
 	}
-	n := len(in.Tasks)
-	e.st = make([]taskState, n)
+	e.src = src
+	e.resize(n)
+	if e.plat == nil {
+		e.plat, err = platform.New(in.P)
+	} else {
+		err = e.plat.Reset(in.P)
+	}
+	if err != nil {
+		return err
+	}
+	e.q.Reset()
+	e.ctr = Counters{}
+	e.hist = e.hist[:0]
+	e.now = 0
 	e.live = n
+	e.have = false
+	e.acct = nil
+
+	if err := e.initialSchedule(); err != nil {
+		return err
+	}
 	if opt.Accounting {
-		e.acct = newAccounting(n, sigma)
+		e.acct = newAccounting(n, e.sigma0)
 	}
 	for i := range e.st {
-		if _, err := plat.Alloc(i, sigma[i]); err != nil {
-			return Result{}, fmt.Errorf("core: initial allocation: %w", err)
+		if _, err := e.plat.Alloc(i, e.sigma0[i]); err != nil {
+			return fmt.Errorf("core: initial allocation: %w", err)
 		}
 		s := &e.st[i]
-		s.sigma = sigma[i]
-		s.alpha = 1
-		s.tlastR = 0
-		s.tU = in.Res.ExpectedTime(in.Tasks[i], s.sigma, 1)
+		*s = taskState{
+			sigma:  e.sigma0[i],
+			alpha:  1,
+			tlastR: 0,
+		}
+		// d.evals[i] is still bound to (task i, α = 1) by the initial
+		// schedule, so this is ExpectedTime without the allocation.
+		s.tU = e.d.evals[i].At(s.sigma)
 		e.scheduleEnd(i)
 	}
 	e.pullFault()
+	e.primed = true
+	return nil
+}
+
+// growInts resizes an int arena to n elements, retaining capacity.
+func growInts(p *[]int, n int) {
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+}
+
+// growFloats resizes a float64 arena to n elements, retaining capacity.
+func growFloats(p *[]float64, n int) {
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+}
+
+// resize grows every task-indexed arena to n, retaining capacity.
+func (e *Simulator) resize(n int) {
+	if cap(e.st) < n {
+		e.st = make([]taskState, n)
+	}
+	e.st = e.st[:n]
+	growInts(&e.sigma0, n)
+	growInts(&e.sigmaRes, n)
+	growFloats(&e.finish, n)
+	if cap(e.elig) < n {
+		e.elig = make([]int, 0, n)
+	}
+	e.d.resize(e, n)
+	e.heap.rebind(e.d.tUc)
+}
+
+// initialSchedule is Algorithm 1 evaluated into the simulator's arenas
+// (same algorithm as the exported InitialSchedule, without its per-call
+// allocations). The result lands in e.sigma0.
+func (e *Simulator) initialSchedule() error {
+	n := len(e.in.Tasks)
+	e.elig = e.elig[:0]
+	for i := range e.in.Tasks {
+		e.sigma0[i] = 2
+		e.d.evals[i].Reset(e.in.Res, e.in.Tasks[i], 1)
+		e.d.tUc[i] = e.d.evals[i].At(2)
+		e.elig = append(e.elig, i)
+	}
+	e.heap.build(e.elig)
+	avail := e.in.P - 2*n
+	for avail >= 2 {
+		i, ok := e.heap.popMax()
+		if !ok {
+			break
+		}
+		pmax := e.sigma0[i] + avail
+		// Line 9: is there any hope of improving the longest task with
+		// everything we have? ExpectedTime is non-increasing in j after
+		// Eq. (6), so a strict decrease at pmax means some extension helps.
+		if e.d.evals[i].At(e.sigma0[i]) > e.d.evals[i].At(pmax) {
+			e.sigma0[i] += 2
+			e.d.tUc[i] = e.d.evals[i].At(e.sigma0[i])
+			e.heap.add(i)
+			avail -= 2
+		} else {
+			// The longest task cannot be improved: the overall expected
+			// completion time is settled, keep the processors free.
+			break
+		}
+	}
+	return nil
+}
+
+// Run executes the primed simulation to completion. The returned
+// Result's slices alias the simulator's arenas and remain valid only
+// until the next Reset.
+func (e *Simulator) Run() (Result, error) {
+	if !e.primed {
+		return Result{}, fmt.Errorf("core: Simulator.Run without a successful Reset")
+	}
+	e.primed = false
 
 	for e.live > 0 {
 		if e.ctr.Events >= e.opt.MaxEvents {
@@ -108,33 +258,35 @@ func Run(in Instance, pol Policy, src failure.Source, opt Options) (Result, erro
 
 	res := Result{
 		Makespan: 0,
-		Finish:   make([]float64, n),
-		Sigma:    make([]int, n),
+		Finish:   e.finish,
+		Sigma:    e.sigmaRes,
 		Counters: e.ctr,
-		History:  e.hist,
+	}
+	if e.opt.RecordHistory {
+		res.History = e.hist
 	}
 	for i := range e.st {
-		res.Finish[i] = e.st[i].finish
-		res.Sigma[i] = e.st[i].lastSig
+		e.finish[i] = e.st[i].finish
+		e.sigmaRes[i] = e.st[i].lastSig
 		if e.st[i].finish > res.Makespan {
 			res.Makespan = e.st[i].finish
 		}
 	}
 	if e.acct != nil {
-		bd := e.acct.finalize(in.P, res.Makespan)
+		bd := e.acct.finalize(e.in.P, res.Makespan)
 		res.Breakdown = &bd
 	}
 	return res, nil
 }
 
 // pullFault advances the fault stream.
-func (e *engine) pullFault() {
+func (e *Simulator) pullFault() {
 	e.next, e.have = e.src.Next()
 }
 
 // peekValidEnd returns the earliest non-stale task-end event, discarding
 // stale ones.
-func (e *engine) peekValidEnd() (sim.Event, bool) {
+func (e *Simulator) peekValidEnd() (sim.Event, bool) {
 	for {
 		ev, ok := e.q.Peek()
 		if !ok {
@@ -150,7 +302,7 @@ func (e *engine) peekValidEnd() (sim.Event, bool) {
 
 // scheduleEnd recomputes task i's end-event time from its current state
 // and pushes a fresh (versioned) event.
-func (e *engine) scheduleEnd(i int) {
+func (e *Simulator) scheduleEnd(i int) {
 	s := &e.st[i]
 	switch e.opt.Semantics {
 	case SemanticsDeterministic:
@@ -166,7 +318,7 @@ func (e *engine) scheduleEnd(i int) {
 // The trace event carries the task's finish time, which for early
 // finalizations (Algorithm 2 line 28) lies after the event being
 // processed; trace consumers sort by time.
-func (e *engine) finalize(i int, t float64) {
+func (e *Simulator) finalize(i int, t float64) {
 	s := &e.st[i]
 	if e.acct != nil {
 		// Close the final segment: the remaining fraction completes,
@@ -189,15 +341,17 @@ func (e *engine) finalize(i int, t float64) {
 
 // eligible returns the live tasks available for redistribution at time t:
 // those not still paying for a previous redistribution or recovery
-// (Algorithm 2 line 15 excludes tasks with t < tlastR_i).
-func (e *engine) eligible(t float64) []int {
-	out := make([]int, 0, e.live)
+// (Algorithm 2 line 15 excludes tasks with t < tlastR_i). The returned
+// slice is the simulator's shared eligibility buffer.
+func (e *Simulator) eligible(t float64) []int {
+	out := e.elig[:0]
 	for i := range e.st {
 		s := &e.st[i]
 		if !s.done && t >= s.tlastR {
 			out = append(out, i)
 		}
 	}
+	e.elig = out
 	return out
 }
 
@@ -210,7 +364,7 @@ func (e *engine) eligible(t float64) []int {
 // The result is clamped to [0, 1]; under the expected-time semantics the
 // elapsed wall-clock can exceed the fault-free time of the remaining
 // work, in which case the task is treated as (almost) finished.
-func (e *engine) alphaT(i int, t float64) float64 {
+func (e *Simulator) alphaT(i int, t float64) float64 {
 	s := &e.st[i]
 	task := e.in.Tasks[i]
 	j := s.sigma
@@ -232,7 +386,7 @@ func (e *engine) alphaT(i int, t float64) float64 {
 }
 
 // emit delivers a trace event to the observer, if any.
-func (e *engine) emit(ev TraceEvent) {
+func (e *Simulator) emit(ev TraceEvent) {
 	if e.opt.OnTrace != nil {
 		e.opt.OnTrace(ev)
 	}
@@ -240,8 +394,8 @@ func (e *engine) emit(ev TraceEvent) {
 
 // processEnd handles the termination of task i at time t (Algorithm 2
 // lines 17–20): release the processors, then redistribute them according
-// to the end-of-task rule.
-func (e *engine) processEnd(i int, t float64) {
+// to the end-of-task heuristic.
+func (e *Simulator) processEnd(i int, t float64) {
 	e.ctr.Events++
 	e.ctr.TaskEnds++
 	e.now = t
@@ -249,16 +403,15 @@ func (e *engine) processEnd(i int, t float64) {
 	if e.live == 0 {
 		return
 	}
-	switch e.pol.OnEnd {
-	case EndLocal:
-		e.endLocal(t, e.eligible(t))
-	case EndGreedy:
-		e.iteratedGreedy(t, e.eligible(t), -1)
+	if e.endH != nil {
+		e.beginDecision(t, e.eligible(t), -1)
+		e.endH.RedistributeEnd(&e.d)
+		e.d.commit()
 	}
 }
 
 // processFault handles a failure event (Algorithm 2 lines 21–32).
-func (e *engine) processFault(f failure.Fault) {
+func (e *Simulator) processFault(f failure.Fault) {
 	e.ctr.Events++
 	e.now = f.Time
 	owner := e.plat.Owner(f.Proc)
@@ -305,7 +458,8 @@ func (e *engine) processFault(f failure.Fault) {
 		s.alpha = 0
 	}
 	s.tlastR = t + e.in.Res.Downtime + e.in.Res.Recovery(task, j)
-	s.tU = s.tlastR + e.in.Res.ExpectedTime(task, j, s.alpha)
+	e.tuEval.Reset(e.in.Res, task, s.alpha)
+	s.tU = s.tlastR + e.tuEval.At(j)
 	e.scheduleEnd(owner)
 
 	// Algorithm 2 line 28: tasks that finish during the faulty task's
@@ -328,17 +482,17 @@ func (e *engine) processFault(f failure.Fault) {
 		}
 	}
 	elig = kept
+	e.elig = kept
 
 	// Only try to redistribute when the faulty task now dominates the
 	// schedule (Algorithm 2 line 30).
 	redistributed := false
 	if e.live > 0 && s.tU >= e.maxLiveTU() {
 		before := e.ctr.Redistributions
-		switch e.pol.OnFailure {
-		case FailShortestTasksFirst:
-			e.shortestTasksFirst(t, elig, owner)
-		case FailIteratedGreedy:
-			e.iteratedGreedy(t, elig, owner)
+		if e.failH != nil {
+			e.beginDecision(t, elig, owner)
+			e.failH.RedistributeFail(&e.d, owner)
+			e.d.commit()
 		}
 		redistributed = e.ctr.Redistributions > before
 	}
@@ -355,7 +509,7 @@ func (e *engine) processFault(f failure.Fault) {
 }
 
 // maxLiveTU returns the largest expected finish time among live tasks.
-func (e *engine) maxLiveTU() float64 {
+func (e *Simulator) maxLiveTU() float64 {
 	worst := math.Inf(-1)
 	for i := range e.st {
 		if !e.st[i].done && e.st[i].tU > worst {
@@ -367,7 +521,7 @@ func (e *engine) maxLiveTU() float64 {
 
 // predictedMakespan is the projected pack completion time: realized
 // finishes for done tasks, expected finishes for live ones.
-func (e *engine) predictedMakespan() float64 {
+func (e *Simulator) predictedMakespan() float64 {
 	worst := 0.0
 	for i := range e.st {
 		v := e.st[i].tU
@@ -383,7 +537,7 @@ func (e *engine) predictedMakespan() float64 {
 
 // allocStdDev is the population standard deviation of live allocations
 // (Figure 9b).
-func (e *engine) allocStdDev() float64 {
+func (e *Simulator) allocStdDev() float64 {
 	var acc stats.Accumulator
 	for i := range e.st {
 		if !e.st[i].done {
@@ -397,7 +551,7 @@ func (e *engine) allocStdDev() float64 {
 // allocation, pay the redistribution cost, take the immediate checkpoint
 // (§3.3.2), and reschedule the end event. For the faulty task the
 // downtime and recovery on the old allocation are paid first.
-func (e *engine) commitRedist(i int, t float64, newSigma int, alphaT float64, eval *model.MinEval, faulty bool) error {
+func (e *Simulator) commitRedist(i int, t float64, newSigma int, alphaT float64, eval *model.MinEval, faulty bool) error {
 	s := &e.st[i]
 	task := e.in.Tasks[i]
 	oldSigma := s.sigma
@@ -446,7 +600,7 @@ func (e *engine) commitRedist(i int, t float64, newSigma int, alphaT float64, ev
 }
 
 // check validates cross-structure invariants (Options.Paranoia).
-func (e *engine) check() error {
+func (e *Simulator) check() error {
 	if err := e.plat.Validate(); err != nil {
 		return err
 	}

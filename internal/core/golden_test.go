@@ -1,0 +1,172 @@
+package core_test
+
+// Golden-equivalence tests: the refactored reusable Simulator must be
+// bit-identical to the pre-refactor per-run engine. The table below was
+// generated from the engine as of PR 1 (commit 4c7a579) by running this
+// test with COSCHED_UPDATE_GOLDEN=1 and pasting its output; makespans
+// and finish-time checksums are recorded as hex float literals so the
+// comparison is exact, not approximate.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/rng"
+	"cosched/internal/workload"
+)
+
+// goldenInstance is one fixed workload configuration of the table.
+type goldenInstance struct {
+	name      string
+	n, p      int
+	mtbfYears float64
+	taskSeed  uint64
+	faultSeed uint64
+}
+
+var goldenInstances = []goldenInstance{
+	{name: "small-hostile", n: 4, p: 24, mtbfYears: 2, taskSeed: 11, faultSeed: 101},
+	{name: "mid-moderate", n: 8, p: 48, mtbfYears: 5, taskSeed: 12, faultSeed: 102},
+}
+
+var goldenPolicies = []core.Policy{
+	core.NoRedistribution,
+	core.IGEndGreedy,
+	core.IGEndLocal,
+	core.STFEndGreedy,
+	core.STFEndLocal,
+}
+
+var goldenSemantics = []core.Semantics{
+	core.SemanticsExpected,
+	core.SemanticsDeterministic,
+}
+
+// goldenRow is the recorded outcome of one (instance, policy, semantics)
+// cell: the exact makespan, the exact sum of per-task finish times, and
+// the event counters that characterize the simulated trajectory.
+type goldenRow struct {
+	instance  string
+	policy    string
+	semantics core.Semantics
+	makespan  float64
+	finishSum float64
+	failures  int
+	redists   int
+	taskEnds  int
+	events    int
+}
+
+func goldenRun(t testing.TB, gi goldenInstance, pol core.Policy, sem core.Semantics) core.Result {
+	spec := workload.Default()
+	spec.N = gi.n
+	spec.P = gi.p
+	spec.MTBFYears = gi.mtbfYears
+	tasks, err := spec.Generate(rng.New(gi.taskSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience()}
+	src, err := failure.NewRenewal(in.P, failure.Exponential{Lambda: spec.Lambda()}, rng.New(gi.faultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(in, pol, src, core.Options{Semantics: sem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func finishSum(res core.Result) float64 {
+	s := 0.0
+	for _, f := range res.Finish {
+		s += f
+	}
+	return s
+}
+
+// TestGoldenEquivalence replays every recorded cell and requires exact
+// agreement. Set COSCHED_UPDATE_GOLDEN=1 to print a fresh table instead
+// (only valid against an engine known to be correct).
+func TestGoldenEquivalence(t *testing.T) {
+	if os.Getenv("COSCHED_UPDATE_GOLDEN") != "" {
+		for _, gi := range goldenInstances {
+			for _, pol := range goldenPolicies {
+				for _, sem := range goldenSemantics {
+					res := goldenRun(t, gi, pol, sem)
+					fmt.Printf("\t{instance: %q, policy: %q, semantics: %d, makespan: %s, finishSum: %s, failures: %d, redists: %d, taskEnds: %d, events: %d},\n",
+						gi.name, pol.String(), int(sem),
+						hexLit(res.Makespan), hexLit(finishSum(res)),
+						res.Counters.Failures, res.Counters.Redistributions,
+						res.Counters.TaskEnds, res.Counters.Events)
+				}
+			}
+		}
+		t.Skip("golden table regenerated; paste the output above into goldenRows")
+	}
+
+	byName := map[string]core.Policy{}
+	for _, pol := range goldenPolicies {
+		byName[pol.String()] = pol
+	}
+	instances := map[string]goldenInstance{}
+	for _, gi := range goldenInstances {
+		instances[gi.name] = gi
+	}
+	for _, row := range goldenRows {
+		row := row
+		t.Run(fmt.Sprintf("%s/%s/%s", row.instance, row.policy, row.semantics), func(t *testing.T) {
+			res := goldenRun(t, instances[row.instance], byName[row.policy], row.semantics)
+			if res.Makespan != row.makespan {
+				t.Errorf("makespan = %x, golden %x (Δ=%g)", res.Makespan, row.makespan, res.Makespan-row.makespan)
+			}
+			if fs := finishSum(res); fs != row.finishSum {
+				t.Errorf("finish sum = %x, golden %x (Δ=%g)", fs, row.finishSum, fs-row.finishSum)
+			}
+			if res.Counters.Failures != row.failures {
+				t.Errorf("failures = %d, golden %d", res.Counters.Failures, row.failures)
+			}
+			if res.Counters.Redistributions != row.redists {
+				t.Errorf("redistributions = %d, golden %d", res.Counters.Redistributions, row.redists)
+			}
+			if res.Counters.TaskEnds != row.taskEnds {
+				t.Errorf("task ends = %d, golden %d", res.Counters.TaskEnds, row.taskEnds)
+			}
+			if res.Counters.Events != row.events {
+				t.Errorf("events = %d, golden %d", res.Counters.Events, row.events)
+			}
+		})
+	}
+}
+
+func hexLit(v float64) string {
+	return fmt.Sprintf("math.Float64frombits(0x%016x)", math.Float64bits(v))
+}
+
+var goldenRows = []goldenRow{
+	{instance: "small-hostile", policy: "NoRedistribution", semantics: 0, makespan: math.Float64frombits(0x417f5164a08718f0), finishSum: math.Float64frombits(0x419dd256c27c85d2), failures: 9, redists: 0, taskEnds: 4, events: 14},
+	{instance: "small-hostile", policy: "NoRedistribution", semantics: 1, makespan: math.Float64frombits(0x417c5a25816327c2), finishSum: math.Float64frombits(0x419b37f7f40fe28a), failures: 9, redists: 0, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "IteratedGreedy-EndGreedy", semantics: 0, makespan: math.Float64frombits(0x417cb2cf82bfbac5), finishSum: math.Float64frombits(0x419c33dcc14f8681), failures: 9, redists: 7, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "IteratedGreedy-EndGreedy", semantics: 1, makespan: math.Float64frombits(0x417c5ca8bd29e8d2), finishSum: math.Float64frombits(0x419b979e297bfcc2), failures: 9, redists: 8, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "IteratedGreedy-EndLocal", semantics: 0, makespan: math.Float64frombits(0x417cfa8be6b0f748), finishSum: math.Float64frombits(0x419c340ae7257547), failures: 9, redists: 8, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "IteratedGreedy-EndLocal", semantics: 1, makespan: math.Float64frombits(0x417c725d424e40d8), finishSum: math.Float64frombits(0x419b44bb38971c6d), failures: 9, redists: 9, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "ShortestTasksFirst-EndGreedy", semantics: 0, makespan: math.Float64frombits(0x417cb2cf82bfbac5), finishSum: math.Float64frombits(0x419c33dcc14f8681), failures: 9, redists: 7, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "ShortestTasksFirst-EndGreedy", semantics: 1, makespan: math.Float64frombits(0x417c5ca8bd29e8d2), finishSum: math.Float64frombits(0x419b979e297bfcc2), failures: 9, redists: 8, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "ShortestTasksFirst-EndLocal", semantics: 0, makespan: math.Float64frombits(0x417cfa8be6b0f748), finishSum: math.Float64frombits(0x419c340ae7257547), failures: 9, redists: 8, taskEnds: 4, events: 13},
+	{instance: "small-hostile", policy: "ShortestTasksFirst-EndLocal", semantics: 1, makespan: math.Float64frombits(0x417c725d424e40d8), finishSum: math.Float64frombits(0x419b44bb38971c6d), failures: 9, redists: 9, taskEnds: 4, events: 13},
+	{instance: "mid-moderate", policy: "NoRedistribution", semantics: 0, makespan: math.Float64frombits(0x41869183cb5e99ad), finishSum: math.Float64frombits(0x41b1442f7a55dc89), failures: 6, redists: 0, taskEnds: 7, events: 18},
+	{instance: "mid-moderate", policy: "NoRedistribution", semantics: 1, makespan: math.Float64frombits(0x41855273c15136c0), finishSum: math.Float64frombits(0x41af758ad95c4f12), failures: 5, redists: 0, taskEnds: 8, events: 19},
+	{instance: "mid-moderate", policy: "IteratedGreedy-EndGreedy", semantics: 0, makespan: math.Float64frombits(0x418059a749868103), finishSum: math.Float64frombits(0x41aff162c0173706), failures: 6, redists: 13, taskEnds: 8, events: 14},
+	{instance: "mid-moderate", policy: "IteratedGreedy-EndGreedy", semantics: 1, makespan: math.Float64frombits(0x41809ee33bac96aa), finishSum: math.Float64frombits(0x41b00463d14c00ae), failures: 6, redists: 17, taskEnds: 8, events: 14},
+	{instance: "mid-moderate", policy: "IteratedGreedy-EndLocal", semantics: 0, makespan: math.Float64frombits(0x4180977afbd62a57), finishSum: math.Float64frombits(0x41b01800b397c146), failures: 6, redists: 11, taskEnds: 8, events: 14},
+	{instance: "mid-moderate", policy: "IteratedGreedy-EndLocal", semantics: 1, makespan: math.Float64frombits(0x41802492bba56125), finishSum: math.Float64frombits(0x41af362b2b020890), failures: 6, redists: 14, taskEnds: 7, events: 13},
+	{instance: "mid-moderate", policy: "ShortestTasksFirst-EndGreedy", semantics: 0, makespan: math.Float64frombits(0x41806702e510e9f9), finishSum: math.Float64frombits(0x41afea8712220fa7), failures: 6, redists: 14, taskEnds: 8, events: 14},
+	{instance: "mid-moderate", policy: "ShortestTasksFirst-EndGreedy", semantics: 1, makespan: math.Float64frombits(0x41809ee33bac96aa), finishSum: math.Float64frombits(0x41b00463d14c00ae), failures: 6, redists: 17, taskEnds: 8, events: 14},
+	{instance: "mid-moderate", policy: "ShortestTasksFirst-EndLocal", semantics: 0, makespan: math.Float64frombits(0x4180977afbd62a57), finishSum: math.Float64frombits(0x41b01800b397c146), failures: 6, redists: 11, taskEnds: 8, events: 14},
+	{instance: "mid-moderate", policy: "ShortestTasksFirst-EndLocal", semantics: 1, makespan: math.Float64frombits(0x4180284e1b9dc1b8), finishSum: math.Float64frombits(0x41af14fdb1254445), failures: 6, redists: 14, taskEnds: 7, events: 13},
+}

@@ -1,45 +1,69 @@
 package core
 
-import "container/heap"
-
 // taskHeap is a max-heap of task indices keyed by a caller-maintained
 // value (the expected finish time tU). The heuristics repeatedly pop the
 // longest task, possibly update its key, and reinsert it — exactly the
 // list discipline of Algorithms 1, 3 and 5. Ties break on the smaller
 // task index so runs are deterministic.
+//
+// It is hand-rolled (no container/heap) so that push/pop never box the
+// indices, and build reuses the backing array: one heap lives inside a
+// Simulator for its whole lifetime.
 type taskHeap struct {
 	idx []int     // heap of task indices
 	key []float64 // key per task index (shared with the engine)
 }
 
-func newTaskHeap(key []float64) *taskHeap {
-	return &taskHeap{key: key}
+// rebind points the heap at a (possibly re-grown) key slice and clears it.
+func (h *taskHeap) rebind(key []float64) {
+	h.key = key
+	h.idx = h.idx[:0]
 }
 
-func (h *taskHeap) Len() int { return len(h.idx) }
-
-func (h *taskHeap) Less(a, b int) bool {
+// less orders positions a, b of the heap (max-heap on key, min on index).
+func (h *taskHeap) less(a, b int) bool {
 	ia, ib := h.idx[a], h.idx[b]
 	if h.key[ia] != h.key[ib] {
-		return h.key[ia] > h.key[ib] // max-heap on key
+		return h.key[ia] > h.key[ib]
 	}
 	return ia < ib
 }
 
-func (h *taskHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *taskHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.idx[i], h.idx[parent] = h.idx[parent], h.idx[i]
+		i = parent
+	}
+}
 
-func (h *taskHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
-
-func (h *taskHeap) Pop() interface{} {
-	old := h.idx
-	n := len(old)
-	v := old[n-1]
-	h.idx = old[:n-1]
-	return v
+func (h *taskHeap) down(i int) {
+	n := len(h.idx)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		child := l
+		if r := l + 1; r < n && h.less(r, l) {
+			child = r
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h.idx[i], h.idx[child] = h.idx[child], h.idx[i]
+		i = child
+	}
 }
 
 // add inserts task i (its key must already be set).
-func (h *taskHeap) add(i int) { heap.Push(h, i) }
+func (h *taskHeap) add(i int) {
+	h.idx = append(h.idx, i)
+	h.up(len(h.idx) - 1)
+}
 
 // popMax removes and returns the task with the largest key; ok is false
 // when empty.
@@ -47,11 +71,20 @@ func (h *taskHeap) popMax() (int, bool) {
 	if len(h.idx) == 0 {
 		return 0, false
 	}
-	return heap.Pop(h).(int), true
+	v := h.idx[0]
+	n := len(h.idx) - 1
+	h.idx[0] = h.idx[n]
+	h.idx = h.idx[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return v, true
 }
 
-// build heapifies the given indices in place.
+// build heapifies the given indices in place, reusing the backing array.
 func (h *taskHeap) build(indices []int) {
 	h.idx = append(h.idx[:0], indices...)
-	heap.Init(h)
+	for i := len(h.idx)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }

@@ -1,103 +1,187 @@
 package core
 
 import (
-	"sort"
+	"fmt"
 
 	"cosched/internal/model"
 )
 
-// scratch holds the per-invocation working state shared by the
-// redistribution heuristics: frozen work fractions, candidate allocations
-// and candidate expected finish times. Engine state is only mutated at
-// commit time, so an aborted heuristic leaves no trace.
-type scratch struct {
-	e         *engine
-	t         float64
-	faulty    int // task index, or -1
-	sigmaInit map[int]int
-	sigmaNew  map[int]int
-	alphaT    map[int]float64
-	oldTU     map[int]float64
+// Decision is the working state handed to a redistribution heuristic: a
+// frozen snapshot of the eligible tasks (work fractions, allocations,
+// expected finish times) plus candidate allocations the heuristic is
+// free to mutate. Engine state is only touched at commit time, so an
+// aborted heuristic leaves no trace.
+//
+// All scratch is index-addressed by task and owned by the Simulator —
+// maps were deliberately traded for slices so that a decision round
+// performs no allocation and no hashing. Eligibility is tracked with a
+// round-stamp (mark[i] == round) so clearing between rounds is O(1).
+//
+// External heuristics registered through RegisterEndHeuristic /
+// RegisterFailHeuristic interact with the Decision only through its
+// exported methods; the invariants (even allocations ≥ 2, processor
+// conservation) are enforced there.
+type Decision struct {
+	e      *Simulator
+	t      float64
+	faulty int // task index, or -1
+
+	mark      []uint64 // eligibility stamp per task
+	round     uint64
+	elig      []int // shared with the simulator's eligibility buffer
+	sigmaInit []int
+	sigmaNew  []int
+	alphaT    []float64
+	oldTU     []float64
 	tUc       []float64 // candidate tU, indexed by task (heap key)
-	evals     map[int]*model.MinEval
+	evals     []model.MinEval
+	avail     int // free processors under the current candidate assignment
 }
 
-func (e *engine) newScratch(t float64, elig []int, faulty int) *scratch {
-	sc := &scratch{
-		e:         e,
-		t:         t,
-		faulty:    faulty,
-		sigmaInit: make(map[int]int, len(elig)),
-		sigmaNew:  make(map[int]int, len(elig)),
-		alphaT:    make(map[int]float64, len(elig)),
-		oldTU:     make(map[int]float64, len(elig)),
-		tUc:       make([]float64, len(e.st)),
-		evals:     make(map[int]*model.MinEval, len(elig)),
+// resize grows the decision's arenas to n tasks, retaining capacity.
+// The round counter is monotonic across Resets, so mark entries never
+// need clearing: a fresh (zeroed) or stale stamp can only be smaller
+// than the next round beginDecision stamps with.
+func (d *Decision) resize(e *Simulator, n int) {
+	d.e = e
+	growInts(&d.sigmaInit, n)
+	growInts(&d.sigmaNew, n)
+	growFloats(&d.alphaT, n)
+	growFloats(&d.oldTU, n)
+	growFloats(&d.tUc, n)
+	if cap(d.mark) < n {
+		d.mark = make([]uint64, n)
 	}
-	for _, i := range elig {
-		sc.sigmaInit[i] = e.st[i].sigma
-		sc.sigmaNew[i] = e.st[i].sigma
-		sc.oldTU[i] = e.st[i].tU
-		sc.tUc[i] = e.st[i].tU
-		if i == faulty {
-			// The skeleton already rolled α back to the last checkpoint.
-			sc.alphaT[i] = e.st[i].alpha
-		} else {
-			sc.alphaT[i] = e.alphaT(i, t)
-		}
-		sc.evals[i] = model.NewMinEval(e.in.Res, e.in.Tasks[i], sc.alphaT[i])
+	d.mark = d.mark[:n]
+	if cap(d.evals) < n {
+		d.evals = make([]model.MinEval, n)
 	}
-	return sc
+	d.evals = d.evals[:n]
 }
+
+// beginDecision primes the scratch for one heuristic invocation over the
+// eligible tasks. For the faulty task the skeleton already rolled α back
+// to the last checkpoint; everyone else is frozen at alphaT(t). Each
+// eligible task gets one prefix-min evaluator bound to its frozen α,
+// memoizing every Eq. (6) query of the round.
+func (e *Simulator) beginDecision(t float64, elig []int, faulty int) {
+	d := &e.d
+	d.t = t
+	d.faulty = faulty
+	d.elig = elig
+	d.round++
+	d.avail = e.plat.FreeProcs()
+	for _, i := range elig {
+		d.mark[i] = d.round
+		d.sigmaInit[i] = e.st[i].sigma
+		d.sigmaNew[i] = e.st[i].sigma
+		d.oldTU[i] = e.st[i].tU
+		d.tUc[i] = e.st[i].tU
+		if i == faulty {
+			d.alphaT[i] = e.st[i].alpha
+		} else {
+			d.alphaT[i] = e.alphaT(i, t)
+		}
+		d.evals[i].Reset(e.in.Res, e.in.Tasks[i], d.alphaT[i])
+	}
+}
+
+// Now returns the decision time t.
+func (d *Decision) Now() float64 { return d.t }
+
+// Faulty returns the index of the faulty task, or -1 for an end-of-task
+// decision.
+func (d *Decision) Faulty() int { return d.faulty }
+
+// Eligible returns the tasks available for redistribution, in ascending
+// index order. The slice is shared: do not mutate or retain it.
+func (d *Decision) Eligible() []int { return d.elig }
+
+// IsEligible reports whether task i participates in this decision.
+func (d *Decision) IsEligible(i int) bool {
+	return i >= 0 && i < len(d.mark) && d.mark[i] == d.round
+}
+
+// Avail returns the number of free processors not claimed by the current
+// candidate assignment.
+func (d *Decision) Avail() int { return d.avail }
+
+// Sigma returns the candidate allocation of task i.
+func (d *Decision) Sigma(i int) int { return d.sigmaNew[i] }
+
+// InitialSigma returns the allocation task i held when the decision
+// started.
+func (d *Decision) InitialSigma(i int) int { return d.sigmaInit[i] }
+
+// TU returns the candidate expected finish time of task i under its
+// current candidate allocation.
+func (d *Decision) TU(i int) float64 { return d.tUc[i] }
 
 // extra returns the downtime + recovery surcharge paid by the faulty task
 // before any redistribution can start. The pseudocode of Algorithms 4/5
 // omits it from candidate finish times while §3.3.2 includes it in
 // tlastR; we apply it consistently on both sides (DESIGN.md §5.3).
-func (sc *scratch) extra(i int) float64 {
-	if i != sc.faulty {
+func (d *Decision) extra(i int) float64 {
+	if i != d.faulty {
 		return 0
 	}
-	task := sc.e.in.Tasks[i]
-	return sc.e.in.Res.Downtime + sc.e.in.Res.Recovery(task, sc.sigmaInit[i])
+	task := d.e.in.Tasks[i]
+	return d.e.in.Res.Downtime + d.e.in.Res.Recovery(task, d.sigmaInit[i])
 }
 
-// candidate returns the expected finish time of task i if it were
-// redistributed from sigmaInit to cand processors at time t:
+// Candidate returns the expected finish time of task i if it were
+// redistributed from its initial allocation to cand processors at time t:
 //
 //	tE = t [+ D + R] + RC^{init→cand} + C_{i,cand} + t^R_{i,cand}(αt).
 //
 // Reverting to the initial allocation means no redistribution at all, so
 // the candidate is the task's unperturbed trajectory (its current tU).
-func (sc *scratch) candidate(i, cand int) float64 {
-	if cand == sc.sigmaInit[i] {
-		return sc.oldTU[i]
+func (d *Decision) Candidate(i, cand int) float64 {
+	if cand == d.sigmaInit[i] {
+		return d.oldTU[i]
 	}
-	task := sc.e.in.Tasks[i]
-	return sc.t + sc.extra(i) +
-		sc.e.in.RC.Cost(task.Data, sc.sigmaInit[i], cand) +
-		sc.e.in.Res.PostRedistCkpt(task, cand) +
-		sc.evals[i].At(cand)
+	task := d.e.in.Tasks[i]
+	return d.t + d.extra(i) +
+		d.e.in.RC.Cost(task.Data, d.sigmaInit[i], cand) +
+		d.e.in.Res.PostRedistCkpt(task, cand) +
+		d.evals[i].At(cand)
+}
+
+// SetSigma sets the candidate allocation of task i to cand processors and
+// refreshes its candidate finish time. It panics when i is not eligible,
+// cand is not a positive even count, or the candidate assignment would
+// oversubscribe the platform — external heuristics cannot break
+// processor conservation.
+func (d *Decision) SetSigma(i, cand int) {
+	if !d.IsEligible(i) {
+		panic(fmt.Sprintf("core: SetSigma on non-eligible task %d", i))
+	}
+	if cand < 2 || cand%2 != 0 {
+		panic(fmt.Sprintf("core: SetSigma task %d to invalid allocation %d (want positive even)", i, cand))
+	}
+	d.avail += d.sigmaNew[i] - cand
+	if d.avail < 0 {
+		panic(fmt.Sprintf("core: SetSigma task %d to %d oversubscribes the platform by %d processors", i, cand, -d.avail))
+	}
+	d.sigmaNew[i] = cand
+	d.tUc[i] = d.Candidate(i, cand)
 }
 
 // commit applies every allocation change to the engine. Shrinks are
 // applied before grows so the processor pool can always serve the grows,
-// and tasks are visited in index order for determinism.
-func (sc *scratch) commit() {
-	changed := make([]int, 0, len(sc.sigmaNew))
-	for i, newS := range sc.sigmaNew {
-		if newS != sc.sigmaInit[i] {
-			changed = append(changed, i)
-		}
-	}
-	sort.Ints(changed)
+// and tasks are visited in index order (Eligible is ascending) for
+// determinism.
+func (d *Decision) commit() {
 	for pass := 0; pass < 2; pass++ {
-		for _, i := range changed {
-			shrink := sc.sigmaNew[i] < sc.sigmaInit[i]
+		for _, i := range d.elig {
+			if d.sigmaNew[i] == d.sigmaInit[i] {
+				continue
+			}
+			shrink := d.sigmaNew[i] < d.sigmaInit[i]
 			if (pass == 0) != shrink {
 				continue
 			}
-			err := sc.e.commitRedist(i, sc.t, sc.sigmaNew[i], sc.alphaT[i], sc.evals[i], i == sc.faulty)
+			err := d.e.commitRedist(i, d.t, d.sigmaNew[i], d.alphaT[i], &d.evals[i], i == d.faulty)
 			if err != nil {
 				// Allocation arithmetic is validated by construction; a
 				// failure here is a programming error, not a user error.
@@ -107,18 +191,23 @@ func (sc *scratch) commit() {
 	}
 }
 
-// endLocal is Algorithm 3 (Redistrib-Available-Procs): hand the free
+// --- The paper's heuristics, as registered types ---------------------
+
+// endLocalRule is Algorithm 3 (Redistrib-Available-Procs): hand the free
 // processors to the longest tasks, two at a time, as long as their
 // expected finish improves; a task that cannot be improved is dropped
 // from consideration for this invocation.
-func (e *engine) endLocal(t float64, elig []int) {
-	k := e.plat.FreeProcs()
-	if k < 2 || len(elig) == 0 {
+type endLocalRule struct{}
+
+func (endLocalRule) Name() string { return "EndLocal" }
+
+func (endLocalRule) RedistributeEnd(d *Decision) {
+	k := d.avail
+	if k < 2 || len(d.elig) == 0 {
 		return
 	}
-	sc := e.newScratch(t, elig, -1)
-	h := newTaskHeap(sc.tUc)
-	h.build(elig)
+	h := &d.e.heap
+	h.build(d.elig)
 	for k >= 2 {
 		i, ok := h.popMax()
 		if !ok {
@@ -128,49 +217,44 @@ func (e *engine) endLocal(t float64, elig []int) {
 		// is improvable (lines 10–15), after which it grows by one pair.
 		improvable := false
 		for q := 2; q <= k; q += 2 {
-			if sc.candidate(i, sc.sigmaNew[i]+q) < sc.tUc[i] {
+			if d.Candidate(i, d.sigmaNew[i]+q) < d.tUc[i] {
 				improvable = true
 				break
 			}
 		}
 		if improvable {
-			sc.sigmaNew[i] += 2
-			sc.tUc[i] = sc.candidate(i, sc.sigmaNew[i])
+			d.SetSigma(i, d.sigmaNew[i]+2)
 			h.add(i)
 			k -= 2
 		}
 	}
-	sc.commit()
 }
 
-// iteratedGreedy is Algorithm 5, also used as EndGreedy when faulty < 0:
-// virtually reset every eligible task to one pair, then regrow the
-// longest task two processors at a time while its expected finish
-// (including redistribution costs) improves. Reaching the initial
-// allocation again means "no redistribution" and restores the task's
-// unperturbed trajectory.
-func (e *engine) iteratedGreedy(t float64, elig []int, faulty int) {
-	if len(elig) == 0 {
+// iteratedGreedy is Algorithm 5, shared by the end-of-task (EndGreedy,
+// faulty < 0) and failure (IteratedGreedy) variants: virtually reset
+// every eligible task to one pair, then regrow the longest task two
+// processors at a time while its expected finish (including
+// redistribution costs) improves. Reaching the initial allocation again
+// means "no redistribution" and restores the task's unperturbed
+// trajectory.
+func iteratedGreedy(d *Decision) {
+	if len(d.elig) == 0 {
 		return
 	}
-	sc := e.newScratch(t, elig, faulty)
-	avail := e.plat.FreeProcs()
-	for _, i := range elig {
-		avail += sc.sigmaInit[i] - 2
-		sc.sigmaNew[i] = 2
-		sc.tUc[i] = sc.candidate(i, 2)
+	for _, i := range d.elig {
+		d.SetSigma(i, 2)
 	}
-	h := newTaskHeap(sc.tUc)
-	h.build(elig)
-	for avail >= 2 {
+	h := &d.e.heap
+	h.build(d.elig)
+	for d.avail >= 2 {
 		i, ok := h.popMax()
 		if !ok {
 			break
 		}
-		pmax := sc.sigmaNew[i] + avail
+		pmax := d.sigmaNew[i] + d.avail
 		improvable := false
-		for cand := sc.sigmaNew[i] + 2; cand <= pmax; cand += 2 {
-			if sc.candidate(i, cand) < sc.tUc[i] {
+		for cand := d.sigmaNew[i] + 2; cand <= pmax; cand += 2 {
+			if d.Candidate(i, cand) < d.tUc[i] {
 				improvable = true
 				break
 			}
@@ -180,35 +264,50 @@ func (e *engine) iteratedGreedy(t float64, elig []int, faulty int) {
 			// improved the expected makespan is settled; stop growing.
 			break
 		}
-		sc.sigmaNew[i] += 2
-		sc.tUc[i] = sc.candidate(i, sc.sigmaNew[i])
+		d.SetSigma(i, d.sigmaNew[i]+2)
 		h.add(i)
-		avail -= 2
 	}
-	sc.commit()
 }
 
-// shortestTasksFirst is Algorithm 4: give the free processors to the
+// endGreedyRule recomputes a complete schedule at task terminations (the
+// end-of-task variant of Algorithm 5).
+type endGreedyRule struct{}
+
+func (endGreedyRule) Name() string { return "EndGreedy" }
+
+func (endGreedyRule) RedistributeEnd(d *Decision) { iteratedGreedy(d) }
+
+// iteratedGreedyRule recomputes a complete schedule at each failure
+// (Algorithm 5).
+type iteratedGreedyRule struct{}
+
+func (iteratedGreedyRule) Name() string { return "IteratedGreedy" }
+
+func (iteratedGreedyRule) RedistributeFail(d *Decision, faulty int) { iteratedGreedy(d) }
+
+// shortestTasksFirstRule is Algorithm 4: give the free processors to the
 // faulty task while that improves it, then transfer pairs from the
 // shortest tasks as long as both the faulty task improves and the donor
 // does not become the new longest task.
-func (e *engine) shortestTasksFirst(t float64, elig []int, faulty int) {
-	sc := e.newScratch(t, elig, faulty)
+type shortestTasksFirstRule struct{}
+
+func (shortestTasksFirstRule) Name() string { return "ShortestTasksFirst" }
+
+func (shortestTasksFirstRule) RedistributeFail(d *Decision, faulty int) {
 	f := faulty
-	if _, ok := sc.sigmaInit[f]; !ok {
+	if !d.IsEligible(f) {
 		return
 	}
 
 	// Phase 1 (lines 12–25): absorb free processors, smallest improving
 	// even increment first, repeatedly.
-	k := e.plat.FreeProcs()
+	k := d.avail
 	for k >= 2 {
 		granted := 0
 		for q := 2; q <= k; q += 2 {
-			if tE := sc.candidate(f, sc.sigmaNew[f]+q); tE < sc.tUc[f] {
+			if tE := d.Candidate(f, d.sigmaNew[f]+q); tE < d.tUc[f] {
 				granted = q
-				sc.sigmaNew[f] += q
-				sc.tUc[f] = tE
+				d.SetSigma(f, d.sigmaNew[f]+q)
 				break
 			}
 		}
@@ -222,15 +321,15 @@ func (e *engine) shortestTasksFirst(t float64, elig []int, faulty int) {
 	// transfer requires an even amount q whose removal keeps the donor's
 	// new finish below the faulty task's current expected finish.
 	for {
-		s := sc.shortestDonor(elig, f)
+		s := shortestDonor(d, f)
 		if s < 0 {
 			break
 		}
 		improvable := false
-		for q := 2; q <= sc.sigmaNew[s]-2; q += 2 {
-			tEf := sc.candidate(f, sc.sigmaNew[f]+q)
-			tEs := sc.candidate(s, sc.sigmaNew[s]-q)
-			if tEf < sc.tUc[f] && tEs < sc.tUc[f] {
+		for q := 2; q <= d.sigmaNew[s]-2; q += 2 {
+			tEf := d.Candidate(f, d.sigmaNew[f]+q)
+			tEs := d.Candidate(s, d.sigmaNew[s]-q)
+			if tEf < d.tUc[f] && tEs < d.tUc[f] {
 				improvable = true
 				break
 			}
@@ -238,27 +337,26 @@ func (e *engine) shortestTasksFirst(t float64, elig []int, faulty int) {
 		if !improvable {
 			break
 		}
-		sc.sigmaNew[f] += 2
-		sc.sigmaNew[s] -= 2
-		sc.tUc[f] = sc.candidate(f, sc.sigmaNew[f])
-		sc.tUc[s] = sc.candidate(s, sc.sigmaNew[s])
-		if sc.tUc[s] > sc.tUc[f] {
+		// Shrink the donor before growing the faulty task so the pair
+		// transfer never transits through an oversubscribed state.
+		d.SetSigma(s, d.sigmaNew[s]-2)
+		d.SetSigma(f, d.sigmaNew[f]+2)
+		if d.tUc[s] > d.tUc[f] {
 			// Line 39: the donor became the bottleneck; stop stealing.
 			break
 		}
 	}
-	sc.commit()
 }
 
 // shortestDonor returns the eligible task with the smallest candidate
 // finish time that still has a pair to spare (σ ≥ 4), or -1.
-func (sc *scratch) shortestDonor(elig []int, faulty int) int {
+func shortestDonor(d *Decision, faulty int) int {
 	best := -1
-	for _, i := range elig {
-		if i == faulty || sc.sigmaNew[i] < 4 {
+	for _, i := range d.elig {
+		if i == faulty || d.sigmaNew[i] < 4 {
 			continue
 		}
-		if best < 0 || sc.tUc[i] < sc.tUc[best] || (sc.tUc[i] == sc.tUc[best] && i < best) {
+		if best < 0 || d.tUc[i] < d.tUc[best] || (d.tUc[i] == d.tUc[best] && i < best) {
 			best = i
 		}
 	}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EndHeuristic redistributes the processors released by a terminating
+// task (the paper's §5.2 family). Implementations receive a primed
+// Decision, mutate candidate allocations through its API, and return;
+// the engine commits the surviving changes afterwards.
+//
+// Implementations must be stateless (or internally synchronized): one
+// registered value is shared by every Simulator.
+type EndHeuristic interface {
+	// Name is the stable identifier used in Policy.String() compositions
+	// ("<fail>-<end>"), scenario specs, and fingerprints.
+	Name() string
+	RedistributeEnd(d *Decision)
+}
+
+// FailHeuristic redistributes processors after a failure delays the
+// critical task (the paper's §5.3 family). It runs only when the faulty
+// task dominates the schedule (Algorithm 2 line 30); faulty is always an
+// index into the instance's tasks, though not necessarily eligible.
+type FailHeuristic interface {
+	Name() string
+	RedistributeFail(d *Decision, faulty int)
+}
+
+// registry holds the EndRule/FailRule dispatch tables. The paper's rules
+// occupy the fixed low ids (the historical iota values), so existing
+// Policy literals, scenario specs and fingerprints are untouched;
+// RegisterEndHeuristic/RegisterFailHeuristic extend the space upward.
+var registry = struct {
+	sync.RWMutex
+	end      map[EndRule]EndHeuristic
+	fail     map[FailRule]FailHeuristic
+	endIDs   []EndRule  // registration order
+	failIDs  []FailRule // registration order
+	nextEnd  EndRule
+	nextFail FailRule
+}{
+	// The paper's rules are seeded here, in the var initializer rather
+	// than an init func, so that package-level RegisterEndHeuristic
+	// calls (e.g. EndProportional) always see them already present.
+	end: map[EndRule]EndHeuristic{
+		EndLocal:  endLocalRule{},
+		EndGreedy: endGreedyRule{},
+	},
+	fail: map[FailRule]FailHeuristic{
+		FailShortestTasksFirst: shortestTasksFirstRule{},
+		FailIteratedGreedy:     iteratedGreedyRule{},
+	},
+	endIDs:   []EndRule{EndNone, EndLocal, EndGreedy},
+	failIDs:  []FailRule{FailNone, FailShortestTasksFirst, FailIteratedGreedy},
+	nextEnd:  endRuleBuiltins,
+	nextFail: failRuleBuiltins,
+}
+
+// checkRuleName enforces the composition grammar on registered names:
+// Policy.String() joins "<fail>-<end>" with a hyphen and PolicyByName
+// splits by full-string match over the cross product, so a name with a
+// hyphen (or a reserved pseudo-name) could make two distinct policies
+// render identically and resolve ambiguously.
+func checkRuleName(name string) {
+	if name == "" {
+		panic("core: heuristic with empty name")
+	}
+	if strings.Contains(name, "-") {
+		panic(fmt.Sprintf("core: heuristic name %q must not contain '-' (it is the policy-composition separator)", name))
+	}
+	switch name {
+	case "EndNone", "FailNone", "NoRedistribution":
+		panic(fmt.Sprintf("core: heuristic name %q is reserved", name))
+	}
+}
+
+// RegisterEndHeuristic adds a new end-of-task rule to the registry and
+// returns its EndRule id, which can be placed in a Policy. It panics when
+// the heuristic's name collides with a registered rule (names key
+// scenario specs and campaign fingerprints, so they must be unique) or
+// breaks the composition grammar.
+func RegisterEndHeuristic(h EndHeuristic) EndRule {
+	checkRuleName(h.Name())
+	registry.Lock()
+	defer registry.Unlock()
+	for _, other := range registry.end {
+		if other.Name() == h.Name() {
+			panic(fmt.Sprintf("core: end heuristic %q already registered", h.Name()))
+		}
+	}
+	r := registry.nextEnd
+	registry.nextEnd++
+	registry.end[r] = h
+	registry.endIDs = append(registry.endIDs, r)
+	return r
+}
+
+// RegisterFailHeuristic adds a new failure rule to the registry and
+// returns its FailRule id. It panics on duplicate or malformed names.
+func RegisterFailHeuristic(h FailHeuristic) FailRule {
+	checkRuleName(h.Name())
+	registry.Lock()
+	defer registry.Unlock()
+	for _, other := range registry.fail {
+		if other.Name() == h.Name() {
+			panic(fmt.Sprintf("core: fail heuristic %q already registered", h.Name()))
+		}
+	}
+	r := registry.nextFail
+	registry.nextFail++
+	registry.fail[r] = h
+	registry.failIDs = append(registry.failIDs, r)
+	return r
+}
+
+// endHeuristic returns the heuristic bound to r, or nil (EndNone and
+// unknown ids have none).
+func endHeuristic(r EndRule) (EndHeuristic, bool) {
+	if r == EndNone {
+		return nil, true
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	h, ok := registry.end[r]
+	return h, ok
+}
+
+func failHeuristic(r FailRule) (FailHeuristic, bool) {
+	if r == FailNone {
+		return nil, true
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	h, ok := registry.fail[r]
+	return h, ok
+}
+
+// resolveHeuristics maps a Policy to its registered heuristic pair. It is
+// evaluated once per Simulator.Reset, so dispatch inside the event loop
+// is a plain interface call.
+func resolveHeuristics(p Policy) (EndHeuristic, FailHeuristic, error) {
+	endH, ok := endHeuristic(p.OnEnd)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: policy %v uses unregistered end rule %d", p, int(p.OnEnd))
+	}
+	failH, ok := failHeuristic(p.OnFailure)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: policy %v uses unregistered fail rule %d", p, int(p.OnFailure))
+	}
+	return endH, failH, nil
+}
+
+// endRuleName returns the registered name of r ("" when unknown).
+func endRuleName(r EndRule) string {
+	if r == EndNone {
+		return "EndNone"
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	if h, ok := registry.end[r]; ok {
+		return h.Name()
+	}
+	return ""
+}
+
+// failRuleName returns the registered name of r ("" when unknown).
+func failRuleName(r FailRule) string {
+	if r == FailNone {
+		return "FailNone"
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	if h, ok := registry.fail[r]; ok {
+		return h.Name()
+	}
+	return ""
+}
+
+// ruleIDs snapshots the registered rule ids under the read lock, so the
+// callers below can compose Policy names lock-free (Policy.String()
+// itself takes the read lock, and sync.RWMutex read locks must not
+// nest).
+func ruleIDs() (ends []EndRule, fails []FailRule) {
+	registry.RLock()
+	defer registry.RUnlock()
+	ends = append(ends, registry.endIDs...)
+	fails = append(fails, registry.failIDs...)
+	return ends, fails
+}
+
+// PolicyByName resolves a canonical policy name — "NoRedistribution" or
+// any "<fail>-<end>" composition of registered rule names, exactly the
+// strings Policy.String() produces. This is how scenario specs and CLI
+// flags reach registered heuristics without the core having to know
+// them.
+func PolicyByName(name string) (Policy, bool) {
+	if name == NoRedistribution.String() {
+		return NoRedistribution, true
+	}
+	ends, fails := ruleIDs()
+	for _, fr := range fails {
+		for _, er := range ends {
+			p := Policy{OnEnd: er, OnFailure: fr}
+			if p.String() == name {
+				return p, true
+			}
+		}
+	}
+	return Policy{}, false
+}
+
+// RegisteredPolicies lists the canonical name of every policy the
+// registry can build — the cross product of registered failure and
+// end-of-task rules (including the None variants) — sorted
+// lexicographically. Feeds the -list-policies flags.
+func RegisteredPolicies() []string {
+	ends, fails := ruleIDs()
+	names := make([]string, 0, len(ends)*len(fails))
+	for _, fr := range fails {
+		for _, er := range ends {
+			names = append(names, Policy{OnEnd: er, OnFailure: fr}.String())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EndRules lists the registered end-of-task rule names (EndNone first,
+// then registration order).
+func EndRules() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.endIDs))
+	for _, r := range registry.endIDs {
+		if r == EndNone {
+			names = append(names, "EndNone")
+		} else {
+			names = append(names, registry.end[r].Name())
+		}
+	}
+	return names
+}
+
+// FailRules lists the registered failure rule names (FailNone first,
+// then registration order).
+func FailRules() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.failIDs))
+	for _, r := range registry.failIDs {
+		if r == FailNone {
+			names = append(names, "FailNone")
+		} else {
+			names = append(names, registry.fail[r].Name())
+		}
+	}
+	return names
+}

@@ -1,0 +1,229 @@
+package core_test
+
+// Tests of the policy registry: name stability for the paper's
+// combinations, round-tripping through PolicyByName, the extension
+// point, and the Decision API safeguards external heuristics run under.
+
+import (
+	"strings"
+	"testing"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/rng"
+	"cosched/internal/workload"
+)
+
+// TestPaperPolicyNamesStable pins the Policy.String() spellings that
+// scenario specs and campaign fingerprints depend on.
+func TestPaperPolicyNamesStable(t *testing.T) {
+	want := map[string]core.Policy{
+		"NoRedistribution":             core.NoRedistribution,
+		"IteratedGreedy-EndGreedy":     core.IGEndGreedy,
+		"IteratedGreedy-EndLocal":      core.IGEndLocal,
+		"ShortestTasksFirst-EndGreedy": core.STFEndGreedy,
+		"ShortestTasksFirst-EndLocal":  core.STFEndLocal,
+	}
+	for name, pol := range want {
+		if got := pol.String(); got != name {
+			t.Errorf("policy %v renders as %q, want %q", pol, got, name)
+		}
+		resolved, ok := core.PolicyByName(name)
+		if !ok {
+			t.Errorf("PolicyByName(%q) not found", name)
+			continue
+		}
+		if resolved != pol {
+			t.Errorf("PolicyByName(%q) = %v, want %v", name, resolved, pol)
+		}
+	}
+}
+
+// TestRegisteredPoliciesRoundTrip requires every listed policy name to
+// resolve back to a policy rendering the same name.
+func TestRegisteredPoliciesRoundTrip(t *testing.T) {
+	names := core.RegisteredPolicies()
+	if len(names) == 0 {
+		t.Fatal("no registered policies")
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Errorf("duplicate registered policy name %q", name)
+		}
+		seen[name] = true
+		pol, ok := core.PolicyByName(name)
+		if !ok {
+			t.Errorf("listed policy %q does not resolve", name)
+			continue
+		}
+		if got := pol.String(); got != name {
+			t.Errorf("policy %q round-trips to %q", name, got)
+		}
+	}
+	for _, must := range []string{"NoRedistribution", "IteratedGreedy-EndProportional"} {
+		if !seen[must] {
+			t.Errorf("RegisteredPolicies misses %q", must)
+		}
+	}
+}
+
+// TestPolicyByNameUnknown checks the failure mode.
+func TestPolicyByNameUnknown(t *testing.T) {
+	if _, ok := core.PolicyByName("Bogus-EndRule"); ok {
+		t.Fatal("bogus policy name resolved")
+	}
+}
+
+// TestRuleLists checks the rule-name listings used by -list-policies.
+func TestRuleLists(t *testing.T) {
+	ends := strings.Join(core.EndRules(), ",")
+	for _, want := range []string{"EndNone", "EndLocal", "EndGreedy", "EndProportional"} {
+		if !strings.Contains(ends, want) {
+			t.Errorf("EndRules %q misses %s", ends, want)
+		}
+	}
+	fails := strings.Join(core.FailRules(), ",")
+	for _, want := range []string{"FailNone", "ShortestTasksFirst", "IteratedGreedy"} {
+		if !strings.Contains(fails, want) {
+			t.Errorf("FailRules %q misses %s", fails, want)
+		}
+	}
+}
+
+// TestRegisterDuplicatePanics: names key fingerprints, so re-registering
+// one must panic rather than silently shadow.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	core.RegisterEndHeuristic(dupRule{})
+}
+
+type dupRule struct{}
+
+func (dupRule) Name() string                     { return "EndLocal" } // collides
+func (dupRule) RedistributeEnd(d *core.Decision) {}
+
+// proportionalInstance is a failure-heavy setup where EndProportional
+// has free processors to apportion.
+func proportionalInstance(t *testing.T) (core.Instance, workload.Spec) {
+	t.Helper()
+	spec := workload.Default()
+	spec.N = 10
+	spec.P = 60
+	spec.MTBFYears = 3
+	tasks, err := spec.Generate(rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience()}, spec
+}
+
+// TestEndProportionalRuns exercises the non-paper heuristic end to end
+// with Paranoia on: platform invariants hold after every event, the pack
+// completes, and the policy actually redistributes.
+func TestEndProportionalRuns(t *testing.T) {
+	in, spec := proportionalInstance(t)
+	src, err := failure.NewRenewal(in.P, failure.Exponential{Lambda: spec.Lambda()}, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := core.Policy{OnEnd: core.EndProportional, OnFailure: core.FailIteratedGreedy}
+	res, err := core.Run(in, pol, src, core.Options{Paranoia: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("suspicious makespan %v", res.Makespan)
+	}
+	if res.Counters.Redistributions == 0 {
+		t.Fatal("EndProportional never redistributed in a failure-heavy run")
+	}
+}
+
+// greedyExternal is a deliberately naive external heuristic built purely
+// on the exported Decision API: it hands every free pair to the single
+// longest task unconditionally. It exists to prove third-party rules can
+// be registered and run under the engine's safeguards.
+type greedyExternal struct{}
+
+func (greedyExternal) Name() string { return "EndAllToLongest" }
+
+func (greedyExternal) RedistributeEnd(d *core.Decision) {
+	elig := d.Eligible()
+	if len(elig) == 0 {
+		return
+	}
+	longest := elig[0]
+	for _, i := range elig {
+		if d.TU(i) > d.TU(longest) {
+			longest = i
+		}
+	}
+	for d.Avail() >= 2 {
+		d.SetSigma(longest, d.Sigma(longest)+2)
+	}
+}
+
+var endAllToLongest = core.RegisterEndHeuristic(greedyExternal{})
+
+// TestExternalHeuristic runs the externally registered rule through a
+// paranoid simulation: the engine must keep processor conservation even
+// though the heuristic grows without candidate checks.
+func TestExternalHeuristic(t *testing.T) {
+	in, spec := proportionalInstance(t)
+	src, err := failure.NewRenewal(in.P, failure.Exponential{Lambda: spec.Lambda()}, rng.New(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := core.Policy{OnEnd: endAllToLongest}
+	if name := pol.String(); name != "FailNone-EndAllToLongest" {
+		t.Fatalf("external rule renders as %q", name)
+	}
+	if _, ok := core.PolicyByName("FailNone-EndAllToLongest"); !ok {
+		t.Fatal("external rule not resolvable by name")
+	}
+	res, err := core.Run(in, pol, src, core.Options{Paranoia: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("suspicious makespan %v", res.Makespan)
+	}
+}
+
+// oversubscriber tries to claim more processors than exist; SetSigma
+// must panic rather than let the engine commit an impossible schedule.
+type oversubscriber struct{}
+
+func (oversubscriber) Name() string { return "EndOversubscribe" }
+
+func (oversubscriber) RedistributeEnd(d *core.Decision) {
+	elig := d.Eligible()
+	if len(elig) == 0 {
+		return
+	}
+	d.SetSigma(elig[0], 1<<20)
+}
+
+var endOversubscribe = core.RegisterEndHeuristic(oversubscriber{})
+
+// TestDecisionOversubscribePanics verifies the conservation safeguard of
+// the exported Decision API.
+func TestDecisionOversubscribePanics(t *testing.T) {
+	in, spec := proportionalInstance(t)
+	src, err := failure.NewRenewal(in.P, failure.Exponential{Lambda: spec.Lambda()}, rng.New(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversubscribing SetSigma did not panic")
+		}
+	}()
+	_, _ = core.Run(in, core.Policy{OnEnd: endOversubscribe}, src, core.Options{})
+	t.Fatal("run with an oversubscribing heuristic completed")
+}

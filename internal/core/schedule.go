@@ -1,9 +1,5 @@
 package core
 
-import (
-	"cosched/internal/model"
-)
-
 // InitialSchedule is Algorithm 1 of the paper (Theorem 1): the optimal
 // processor assignment when no redistribution is allowed, under failures.
 // Every task starts with one buddy pair (σ(i) = 2); processors are then
@@ -15,46 +11,22 @@ import (
 // The returned slice σ satisfies Σσ(i) ≤ p with every σ(i) even and ≥ 2.
 // Complexity: O(p·log n) heap operations plus O(p) model evaluations per
 // task thanks to the incremental prefix-min evaluator.
+//
+// The single implementation of the algorithm lives in
+// (*Simulator).initialSchedule — this wrapper exists for callers that
+// only want the schedule (packs, examples, tests) and returns a slice
+// they own.
 func InitialSchedule(in Instance) ([]int, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	n := len(in.Tasks)
-	sigma := make([]int, n)
-	evals := make([]*model.MinEval, n)
-	key := make([]float64, n)
-	indices := make([]int, n)
-	for i := range in.Tasks {
-		sigma[i] = 2
-		evals[i] = model.NewMinEval(in.Res, in.Tasks[i], 1)
-		key[i] = evals[i].At(2)
-		indices[i] = i
+	s := NewSimulator()
+	s.in = in
+	s.resize(len(in.Tasks))
+	if err := s.initialSchedule(); err != nil {
+		return nil, err
 	}
-	h := newTaskHeap(key)
-	h.build(indices)
-
-	avail := in.P - 2*n
-	for avail >= 2 {
-		i, ok := h.popMax()
-		if !ok {
-			break
-		}
-		pmax := sigma[i] + avail
-		// Line 9: is there any hope of improving the longest task with
-		// everything we have? ExpectedTime is non-increasing in j after
-		// Eq. (6), so a strict decrease at pmax means some extension helps.
-		if evals[i].At(sigma[i]) > evals[i].At(pmax) {
-			sigma[i] += 2
-			key[i] = evals[i].At(sigma[i])
-			h.add(i)
-			avail -= 2
-		} else {
-			// The longest task cannot be improved: the overall expected
-			// completion time is settled, keep the processors free.
-			break
-		}
-	}
-	return sigma, nil
+	return append([]int(nil), s.sigma0...), nil
 }
 
 // ScheduleMakespan returns the expected completion time of a schedule σ

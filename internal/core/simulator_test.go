@@ -1,0 +1,196 @@
+package core_test
+
+// Tests of the Simulator arena-reuse contract: back-to-back Reset+Run on
+// one Simulator must be bit-identical to fresh-engine runs, across
+// changing instance sizes, policies and semantics.
+
+import (
+	"fmt"
+	"testing"
+
+	"cosched/internal/core"
+	"cosched/internal/failure"
+	"cosched/internal/rng"
+	"cosched/internal/workload"
+)
+
+// reuseCell is one run of the interleaved reuse schedule. The sizes are
+// deliberately non-monotonic so the arenas shrink and regrow.
+type reuseCell struct {
+	n, p      int
+	mtbfYears float64
+	policy    core.Policy
+	semantics core.Semantics
+	seed      uint64
+}
+
+func reuseSchedule() []reuseCell {
+	return []reuseCell{
+		{n: 6, p: 36, mtbfYears: 3, policy: core.IGEndLocal, semantics: core.SemanticsExpected, seed: 21},
+		{n: 12, p: 60, mtbfYears: 5, policy: core.STFEndGreedy, semantics: core.SemanticsDeterministic, seed: 22},
+		{n: 3, p: 18, mtbfYears: 2, policy: core.NoRedistribution, semantics: core.SemanticsExpected, seed: 23},
+		{n: 12, p: 64, mtbfYears: 4, policy: core.IGEndGreedy, semantics: core.SemanticsExpected, seed: 24},
+		{n: 5, p: 30, mtbfYears: 3, policy: core.STFEndLocal, semantics: core.SemanticsDeterministic, seed: 25},
+		{n: 8, p: 44, mtbfYears: 3, policy: core.Policy{OnEnd: core.EndProportional, OnFailure: core.FailIteratedGreedy}, semantics: core.SemanticsExpected, seed: 26},
+	}
+}
+
+func cellInstance(t *testing.T, c reuseCell) (core.Instance, workload.Spec) {
+	t.Helper()
+	spec := workload.Default()
+	spec.N = c.n
+	spec.P = c.p
+	spec.MTBFYears = c.mtbfYears
+	tasks, err := spec.Generate(rng.New(c.seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience()}, spec
+}
+
+func cellSource(t *testing.T, spec workload.Spec, seed uint64) failure.Source {
+	t.Helper()
+	src, err := failure.NewRenewal(spec.P, failure.Exponential{Lambda: spec.Lambda()}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestSimulatorReuse runs the schedule twice — once with a fresh engine
+// per cell (core.Run), once on a single reused Simulator — and requires
+// exact agreement, with Paranoia on so platform invariants are checked
+// after every event of the reused runs.
+func TestSimulatorReuse(t *testing.T) {
+	cells := reuseSchedule()
+
+	type outcome struct {
+		makespan float64
+		finish   []float64
+		sigma    []int
+		counters core.Counters
+	}
+	fresh := make([]outcome, len(cells))
+	for i, c := range cells {
+		in, spec := cellInstance(t, c)
+		res, err := core.Run(in, c.policy, cellSource(t, spec, c.seed+100), core.Options{Semantics: c.semantics})
+		if err != nil {
+			t.Fatalf("cell %d: fresh run: %v", i, err)
+		}
+		fresh[i] = outcome{
+			makespan: res.Makespan,
+			finish:   append([]float64(nil), res.Finish...),
+			sigma:    append([]int(nil), res.Sigma...),
+			counters: res.Counters,
+		}
+	}
+
+	simulator := core.NewSimulator()
+	for round := 0; round < 2; round++ {
+		for i, c := range cells {
+			in, spec := cellInstance(t, c)
+			err := simulator.Reset(in, c.policy, cellSource(t, spec, c.seed+100), core.Options{Semantics: c.semantics, Paranoia: true})
+			if err != nil {
+				t.Fatalf("round %d cell %d: Reset: %v", round, i, err)
+			}
+			res, err := simulator.Run()
+			if err != nil {
+				t.Fatalf("round %d cell %d: Run: %v", round, i, err)
+			}
+			want := fresh[i]
+			if res.Makespan != want.makespan {
+				t.Errorf("round %d cell %d: makespan %x, fresh %x", round, i, res.Makespan, want.makespan)
+			}
+			if res.Counters != want.counters {
+				t.Errorf("round %d cell %d: counters %+v, fresh %+v", round, i, res.Counters, want.counters)
+			}
+			for k := range want.finish {
+				if res.Finish[k] != want.finish[k] {
+					t.Errorf("round %d cell %d: finish[%d] %x, fresh %x", round, i, k, res.Finish[k], want.finish[k])
+				}
+				if res.Sigma[k] != want.sigma[k] {
+					t.Errorf("round %d cell %d: sigma[%d] %d, fresh %d", round, i, k, res.Sigma[k], want.sigma[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSimulatorRunWithoutReset verifies the primed-state guard: Run must
+// fail before any Reset and after a completed run consumed the state.
+func TestSimulatorRunWithoutReset(t *testing.T) {
+	simulator := core.NewSimulator()
+	if _, err := simulator.Run(); err == nil {
+		t.Fatal("Run on an unprimed Simulator should fail")
+	}
+	c := reuseSchedule()[0]
+	in, spec := cellInstance(t, c)
+	if err := simulator.Reset(in, c.policy, cellSource(t, spec, 7), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simulator.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simulator.Run(); err == nil {
+		t.Fatal("second Run without a new Reset should fail")
+	}
+}
+
+// TestSimulatorResetValidation verifies that Reset surfaces instance and
+// policy errors without corrupting the simulator for later use.
+func TestSimulatorResetValidation(t *testing.T) {
+	simulator := core.NewSimulator()
+	c := reuseSchedule()[0]
+	in, spec := cellInstance(t, c)
+
+	bad := in
+	bad.P = in.P - 1 // odd
+	if err := simulator.Reset(bad, c.policy, nil, core.Options{}); err == nil {
+		t.Fatal("Reset accepted an odd processor count")
+	}
+	unregistered := core.Policy{OnEnd: core.EndRule(1 << 20)}
+	if err := simulator.Reset(in, unregistered, nil, core.Options{}); err == nil {
+		t.Fatal("Reset accepted an unregistered end rule")
+	}
+
+	// A failed Reset must unprime the simulator: Run after (good Reset,
+	// bad Reset) must error rather than replay the good configuration.
+	if err := simulator.Reset(in, c.policy, cellSource(t, spec, 8), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := simulator.Reset(in, unregistered, nil, core.Options{}); err == nil {
+		t.Fatal("Reset accepted an unregistered end rule")
+	}
+	if _, err := simulator.Run(); err == nil {
+		t.Fatal("Run succeeded after a failed Reset")
+	}
+
+	if err := simulator.Reset(in, c.policy, cellSource(t, spec, 7), core.Options{}); err != nil {
+		t.Fatalf("Reset after errors: %v", err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		t.Fatalf("Run after failed Resets: %v", err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("suspicious makespan %v", res.Makespan)
+	}
+}
+
+// TestRunResultIsolated verifies the package-level Run wrapper returns
+// Results that do not alias each other (each call builds its own arena).
+func TestRunResultIsolated(t *testing.T) {
+	c := reuseSchedule()[0]
+	in, spec := cellInstance(t, c)
+	r1, err := core.Run(in, c.policy, cellSource(t, spec, 1), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fmt.Sprintf("%v", r1.Finish)
+	if _, err := core.Run(in, c.policy, cellSource(t, spec, 2), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if after := fmt.Sprintf("%v", r1.Finish); after != before {
+		t.Fatalf("core.Run results alias each other: %s != %s", after, before)
+	}
+}

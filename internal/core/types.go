@@ -6,14 +6,19 @@
 //   - Algorithm 1 — the optimal schedule without redistribution
 //     (InitialSchedule, Theorem 1);
 //   - Algorithm 2 — the event-driven skeleton handling failures and task
-//     terminations (Run);
+//     terminations, as a reusable arena (Simulator, with Run as the
+//     one-shot convenience);
 //   - Algorithm 3 — EndLocal, local redistribution of released processors;
 //   - EndGreedy — full schedule recomputation at task terminations;
 //   - Algorithm 4 — ShortestTasksFirst, failure-time stealing;
-//   - Algorithm 5 — IteratedGreedy, full recomputation at failures.
+//   - Algorithm 5 — IteratedGreedy, full recomputation at failures;
+//   - a policy registry (EndHeuristic/FailHeuristic) dispatching the
+//     rules above and extensions such as EndProportional, keyed by the
+//     stable Policy.String() names.
 //
 // See DESIGN.md §5 for the documented resolutions of the pseudocode's
-// ambiguities (D+R accounting, busy-task exclusion, loop termination).
+// ambiguities (D+R accounting, busy-task exclusion, loop termination)
+// and DESIGN.md §7 for the registry and the simulator-reuse contract.
 package core
 
 import (
@@ -23,7 +28,8 @@ import (
 )
 
 // EndRule selects what happens when a task terminates and releases its
-// processors (§5.2 of the paper).
+// processors (§5.2 of the paper). Beyond the built-in constants, new
+// rules come from RegisterEndHeuristic.
 type EndRule int
 
 const (
@@ -35,24 +41,23 @@ const (
 	// EndGreedy recomputes a complete schedule, accounting for
 	// redistribution costs (the end-of-task variant of Algorithm 5).
 	EndGreedy
+
+	// endRuleBuiltins is where RegisterEndHeuristic ids start.
+	endRuleBuiltins
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer, consulting the registry for names (the
+// built-ins keep their historical spellings).
 func (e EndRule) String() string {
-	switch e {
-	case EndNone:
-		return "EndNone"
-	case EndLocal:
-		return "EndLocal"
-	case EndGreedy:
-		return "EndGreedy"
-	default:
-		return fmt.Sprintf("EndRule(%d)", int(e))
+	if name := endRuleName(e); name != "" {
+		return name
 	}
+	return fmt.Sprintf("EndRule(%d)", int(e))
 }
 
 // FailRule selects what happens when a failure strikes the longest task
-// (§5.3 of the paper).
+// (§5.3 of the paper). Beyond the built-in constants, new rules come
+// from RegisterFailHeuristic.
 type FailRule int
 
 const (
@@ -64,20 +69,18 @@ const (
 	// FailIteratedGreedy recomputes a complete schedule at each failure
 	// (Algorithm 5).
 	FailIteratedGreedy
+
+	// failRuleBuiltins is where RegisterFailHeuristic ids start.
+	failRuleBuiltins
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer, consulting the registry for names (the
+// built-ins keep their historical spellings).
 func (f FailRule) String() string {
-	switch f {
-	case FailNone:
-		return "FailNone"
-	case FailShortestTasksFirst:
-		return "ShortestTasksFirst"
-	case FailIteratedGreedy:
-		return "IteratedGreedy"
-	default:
-		return fmt.Sprintf("FailRule(%d)", int(f))
+	if name := failRuleName(f); name != "" {
+		return name
 	}
+	return fmt.Sprintf("FailRule(%d)", int(f))
 }
 
 // Policy pairs an end-of-task rule with a failure rule. The paper's four
@@ -151,7 +154,8 @@ type Options struct {
 	// RecordHistory captures a Snapshot at every handled failure,
 	// feeding Figure 9.
 	RecordHistory bool
-	// MaxEvents aborts pathological runs; 0 means the default (50M).
+	// MaxEvents aborts pathological runs; 0 means the default of
+	// 5,000,000 events (defaultMaxEvents in engine.go).
 	MaxEvents int
 	// Paranoia re-validates platform invariants after every event
 	// (slow; used by tests).

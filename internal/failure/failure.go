@@ -132,18 +132,36 @@ type Renewal struct {
 
 // NewRenewal creates a renewal source over p processors.
 func NewRenewal(p int, law Law, src *rng.Source) (*Renewal, error) {
+	r := &Renewal{}
+	if err := r.Reset(p, law, src); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reset re-arms the source in place for a new simulation run: fresh
+// first-failure draws for p processors from law and src, reusing the
+// merge heap's backing array. A Monte-Carlo worker can therefore hold
+// one Renewal (and one reseeded rng.Source) per goroutine instead of
+// allocating a generator per replicate; the draw sequence is identical
+// to a freshly built NewRenewal with the same inputs.
+func (r *Renewal) Reset(p int, law Law, src *rng.Source) error {
 	if p <= 0 {
-		return nil, fmt.Errorf("failure: processor count %d must be positive", p)
+		return fmt.Errorf("failure: processor count %d must be positive", p)
 	}
 	if law == nil || src == nil {
-		return nil, fmt.Errorf("failure: law and rng source are required")
+		return fmt.Errorf("failure: law and rng source are required")
 	}
-	r := &Renewal{law: law, rng: src, h: make(procHeap, 0, p)}
+	r.law, r.rng = law, src
+	if cap(r.h) < p {
+		r.h = make(procHeap, 0, p)
+	}
+	r.h = r.h[:0]
 	for q := 0; q < p; q++ {
 		r.h = append(r.h, procEntry{t: law.Gap(src), proc: q})
 	}
 	heap.Init(&r.h)
-	return r, nil
+	return nil
 }
 
 // Next implements Source; the stream is endless.

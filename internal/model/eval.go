@@ -28,6 +28,19 @@ func NewMinEval(r Resilience, t Task, alpha float64) *MinEval {
 	return &MinEval{r: r, t: t, alpha: alpha}
 }
 
+// Reset rebinds the evaluator to a new (task, α) pair in place,
+// invalidating the cache but keeping its capacity. A simulator that owns
+// one evaluator per task slot can therefore re-prime them at every
+// decision round — and across whole runs — without allocating; the
+// cached prefix-min values are shared by every candidate query of the
+// round, exactly as with a freshly allocated evaluator.
+func (e *MinEval) Reset(r Resilience, t Task, alpha float64) {
+	e.r = r
+	e.t = t
+	e.alpha = alpha
+	e.mins = e.mins[:0]
+}
+
 // Alpha returns the work fraction the evaluator is bound to.
 func (e *MinEval) Alpha() float64 { return e.alpha }
 

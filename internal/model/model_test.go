@@ -496,3 +496,32 @@ func BenchmarkMinEvalScan(b *testing.B) {
 		_ = e.At(256)
 	}
 }
+
+// TestMinEvalReset verifies reset-in-place: a reused evaluator must
+// produce exactly the values of a freshly allocated one, including after
+// rebinding to a different task and work fraction.
+func TestMinEvalReset(t *testing.T) {
+	r := Resilience{Lambda: 1e-7, Downtime: 60}
+	a := Task{Profile: Synthetic{M: 2e6, SeqFraction: 0.08}, Data: 2e6, Ckpt: 2e6}
+	b := Task{Profile: Synthetic{M: 1e6, SeqFraction: 0.3}, Data: 1e6, Ckpt: 1e6}
+
+	reused := NewMinEval(r, a, 1)
+	for j := 2; j <= 64; j += 2 {
+		reused.At(j) // warm the cache past the rebind sizes
+	}
+	for _, tc := range []struct {
+		task  Task
+		alpha float64
+	}{{a, 0.5}, {b, 1}, {b, 0.25}, {a, 1}} {
+		reused.Reset(r, tc.task, tc.alpha)
+		fresh := NewMinEval(r, tc.task, tc.alpha)
+		if got, want := reused.Alpha(), fresh.Alpha(); got != want {
+			t.Fatalf("alpha after Reset: %v, want %v", got, want)
+		}
+		for j := 2; j <= 40; j += 2 {
+			if got, want := reused.At(j), fresh.At(j); got != want {
+				t.Errorf("Reset(%v) At(%d) = %v, fresh %v", tc.alpha, j, got, want)
+			}
+		}
+	}
+}

@@ -7,6 +7,11 @@
 // the buddy of processor q is q XOR 1. The allocator keeps the processor →
 // task ownership map the failure simulator needs to attribute a strike,
 // and enforces conservation and evenness invariants.
+//
+// The allocator is arena-style: all bookkeeping lives in index-addressed
+// slices that retain their capacity across Reset, so a simulator reusing
+// one Platform for millions of Monte-Carlo replicates allocates nothing
+// in steady state.
 package platform
 
 import (
@@ -23,30 +28,65 @@ const Free = -1
 // per goroutine.
 type Platform struct {
 	p      int
-	owner  []int         // processor -> task ID, or Free
-	free   []int         // stack of free pair indices
-	byTask map[int][]int // task ID -> owned pair indices, allocation order
+	owner  []int   // processor -> task ID, or Free
+	free   []int   // stack of free pair indices
+	byTask [][]int // task ID -> owned pair indices, allocation order
+	// scratch backs the processor-ID slices returned by Alloc, Release,
+	// ReleaseAll and Resize; each call overwrites the previous result.
+	scratch []int
 }
 
 // New creates a platform with p processors. p must be positive and even.
 func New(p int) (*Platform, error) {
+	pl := &Platform{}
+	if err := pl.Reset(p); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// Reset returns the platform to the fully-free state with p processors,
+// reusing every internal buffer. It makes one Platform reusable across
+// simulation runs: after warm-up no allocator call allocates memory.
+func (pl *Platform) Reset(p int) error {
 	if p <= 0 || p%2 != 0 {
-		return nil, fmt.Errorf("platform: processor count %d must be positive and even", p)
+		return fmt.Errorf("platform: processor count %d must be positive and even", p)
 	}
-	pl := &Platform{
-		p:      p,
-		owner:  make([]int, p),
-		free:   make([]int, 0, p/2),
-		byTask: make(map[int][]int),
+	pl.p = p
+	if cap(pl.owner) < p {
+		pl.owner = make([]int, p)
 	}
+	pl.owner = pl.owner[:p]
 	for i := range pl.owner {
 		pl.owner[i] = Free
 	}
+	if cap(pl.free) < p/2 {
+		pl.free = make([]int, 0, p/2)
+	}
+	pl.free = pl.free[:0]
 	// Push pairs in reverse so allocation hands out low indices first.
 	for k := p/2 - 1; k >= 0; k-- {
 		pl.free = append(pl.free, k)
 	}
-	return pl, nil
+	for i := range pl.byTask {
+		pl.byTask[i] = pl.byTask[i][:0]
+	}
+	return nil
+}
+
+// pairs returns the pair list of a task, growing the table on demand.
+func (pl *Platform) pairs(task int) []int {
+	if task >= len(pl.byTask) {
+		return nil
+	}
+	return pl.byTask[task]
+}
+
+// grow makes byTask addressable at task.
+func (pl *Platform) grow(task int) {
+	for len(pl.byTask) <= task {
+		pl.byTask = append(pl.byTask, nil)
+	}
 }
 
 // P returns the total number of processors.
@@ -56,7 +96,7 @@ func (pl *Platform) P() int { return pl.p }
 func (pl *Platform) FreeProcs() int { return 2 * len(pl.free) }
 
 // Count returns the number of processors currently owned by the task.
-func (pl *Platform) Count(task int) int { return 2 * len(pl.byTask[task]) }
+func (pl *Platform) Count(task int) int { return 2 * len(pl.pairs(task)) }
 
 // Owner returns the task owning processor q, or Free.
 func (pl *Platform) Owner(q int) int {
@@ -70,7 +110,9 @@ func (pl *Platform) Owner(q int) int {
 func Buddy(q int) int { return q ^ 1 }
 
 // Alloc grants count processors (count even, > 0) to the task and returns
-// the granted processor IDs in ascending order.
+// the granted processor IDs in ascending order. The returned slice is
+// backed by an internal scratch buffer and is only valid until the next
+// allocator call.
 func (pl *Platform) Alloc(task, count int) ([]int, error) {
 	if task < 0 {
 		return nil, fmt.Errorf("platform: invalid task ID %d", task)
@@ -82,7 +124,8 @@ func (pl *Platform) Alloc(task, count int) ([]int, error) {
 	if pairs > len(pl.free) {
 		return nil, fmt.Errorf("platform: requested %d processors, only %d free", count, pl.FreeProcs())
 	}
-	granted := make([]int, 0, count)
+	pl.grow(task)
+	granted := pl.scratch[:0]
 	for i := 0; i < pairs; i++ {
 		k := pl.free[len(pl.free)-1]
 		pl.free = pl.free[:len(pl.free)-1]
@@ -92,22 +135,24 @@ func (pl *Platform) Alloc(task, count int) ([]int, error) {
 		granted = append(granted, 2*k, 2*k+1)
 	}
 	sort.Ints(granted)
+	pl.scratch = granted
 	return granted, nil
 }
 
 // Release takes count processors (count even, > 0) away from the task
 // (most recently allocated pairs first) and returns the released IDs in
-// ascending order.
+// ascending order. The returned slice is backed by an internal scratch
+// buffer and is only valid until the next allocator call.
 func (pl *Platform) Release(task, count int) ([]int, error) {
 	if count <= 0 || count%2 != 0 {
 		return nil, fmt.Errorf("platform: release of %d processors must be positive and even", count)
 	}
 	pairs := count / 2
-	owned := pl.byTask[task]
+	owned := pl.pairs(task)
 	if pairs > len(owned) {
 		return nil, fmt.Errorf("platform: task %d owns %d processors, cannot release %d", task, 2*len(owned), count)
 	}
-	released := make([]int, 0, count)
+	released := pl.scratch[:0]
 	for i := 0; i < pairs; i++ {
 		k := owned[len(owned)-1]
 		owned = owned[:len(owned)-1]
@@ -116,17 +161,16 @@ func (pl *Platform) Release(task, count int) ([]int, error) {
 		pl.owner[2*k+1] = Free
 		released = append(released, 2*k, 2*k+1)
 	}
-	if len(owned) == 0 {
-		delete(pl.byTask, task)
-	} else {
-		pl.byTask[task] = owned
-	}
+	pl.byTask[task] = owned
 	sort.Ints(released)
+	pl.scratch = released
 	return released, nil
 }
 
 // ReleaseAll frees every processor owned by the task and returns the
-// released IDs in ascending order (nil if the task owned none).
+// released IDs in ascending order (nil if the task owned none). The
+// returned slice is backed by an internal scratch buffer and is only
+// valid until the next allocator call.
 func (pl *Platform) ReleaseAll(task int) []int {
 	n := pl.Count(task)
 	if n == 0 {
@@ -142,7 +186,8 @@ func (pl *Platform) ReleaseAll(task int) []int {
 
 // Resize changes the task's allocation to exactly count processors,
 // allocating or releasing as needed. It returns the processors added and
-// removed (one of the two is always empty).
+// removed (one of the two is always empty; both share the scratch buffer
+// of Alloc/Release).
 func (pl *Platform) Resize(task, count int) (added, removed []int, err error) {
 	if count < 0 || count%2 != 0 {
 		return nil, nil, fmt.Errorf("platform: target allocation %d must be non-negative and even", count)
@@ -157,9 +202,10 @@ func (pl *Platform) Resize(task, count int) (added, removed []int, err error) {
 	return added, removed, err
 }
 
-// Procs returns the processors owned by the task in ascending order.
+// Procs returns the processors owned by the task in ascending order. The
+// slice is freshly allocated and safe to retain.
 func (pl *Platform) Procs(task int) []int {
-	pairs := pl.byTask[task]
+	pairs := pl.pairs(task)
 	procs := make([]int, 0, 2*len(pairs))
 	for _, k := range pairs {
 		procs = append(procs, 2*k, 2*k+1)
@@ -171,10 +217,11 @@ func (pl *Platform) Procs(task int) []int {
 // Tasks returns the IDs of tasks holding at least one processor, sorted.
 func (pl *Platform) Tasks() []int {
 	ids := make([]int, 0, len(pl.byTask))
-	for id := range pl.byTask {
-		ids = append(ids, id)
+	for id, pairs := range pl.byTask {
+		if len(pairs) > 0 {
+			ids = append(ids, id)
+		}
 	}
-	sort.Ints(ids)
 	return ids
 }
 

@@ -75,8 +75,12 @@ func TestAllocErrors(t *testing.T) {
 
 func TestReleaseLIFO(t *testing.T) {
 	pl := mustNew(t, 8)
-	first, _ := pl.Alloc(2, 2)
-	second, _ := pl.Alloc(2, 2)
+	// Results share the allocator's scratch buffer, so anything kept
+	// across calls must be copied.
+	got, _ := pl.Alloc(2, 2)
+	first := append([]int(nil), got...)
+	got, _ = pl.Alloc(2, 2)
+	second := append([]int(nil), got...)
 	released, err := pl.Release(2, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -254,5 +258,52 @@ func BenchmarkAllocRelease(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pl.Alloc(1, 64)
 		pl.Release(1, 64)
+	}
+}
+
+// TestReset verifies arena reuse: a platform reset to a new (smaller or
+// larger) size must behave exactly like a fresh one, with all previous
+// ownership forgotten.
+func TestReset(t *testing.T) {
+	pl := mustNew(t, 16)
+	if _, err := pl.Alloc(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Alloc(3, 6); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{8, 32, 16} {
+		if err := pl.Reset(p); err != nil {
+			t.Fatalf("Reset(%d): %v", p, err)
+		}
+		if pl.P() != p || pl.FreeProcs() != p {
+			t.Fatalf("after Reset(%d): P=%d free=%d", p, pl.P(), pl.FreeProcs())
+		}
+		if pl.Count(0) != 0 || pl.Count(3) != 0 {
+			t.Fatalf("Reset(%d) kept stale ownership", p)
+		}
+		if got := pl.Tasks(); len(got) != 0 {
+			t.Fatalf("Reset(%d) still lists tasks %v", p, got)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("Reset(%d): %v", p, err)
+		}
+		// The platform must be fully usable after the reset.
+		got, err := pl.Alloc(1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 4 || got[0] != 0 {
+			t.Fatalf("post-Reset alloc %v, want the low pairs", got)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Reset(7); err == nil {
+		t.Fatal("Reset accepted an odd processor count")
+	}
+	if err := pl.Reset(0); err == nil {
+		t.Fatal("Reset accepted zero processors")
 	}
 }

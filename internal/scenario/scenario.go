@@ -140,50 +140,118 @@ type PolicySpec struct {
 	FaultFree bool
 }
 
-// policyTable maps canonical names to policy combinations. The "ff-"
-// prefix turns any of them into its fault-free variant.
+// policyTable maps short aliases to policy combinations. The "ff-"
+// prefix turns any of them into its fault-free variant. Anything not in
+// this table is resolved against the core policy registry by its
+// canonical Policy.String() name, so heuristics added through
+// core.RegisterEndHeuristic / core.RegisterFailHeuristic are reachable
+// from scenario specs without touching this package.
 var policyTable = map[string]core.Policy{
 	"norc":   core.NoRedistribution,
 	"ig-eg":  core.IGEndGreedy,
 	"ig-el":  core.IGEndLocal,
 	"stf-eg": core.STFEndGreedy,
 	"stf-el": core.STFEndLocal,
+	"ig-ep":  {OnEnd: core.EndProportional, OnFailure: core.FailIteratedGreedy},
+	"stf-ep": {OnEnd: core.EndProportional, OnFailure: core.FailShortestTasksFirst},
 	"eg":     {OnEnd: core.EndGreedy},
 	"el":     {OnEnd: core.EndLocal},
+	"ep":     {OnEnd: core.EndProportional},
 }
 
+// shortNames is the alias resolution order: fully-qualified combinations
+// ahead of the end-rule-only aliases, paper policies ahead of
+// extensions.
+var shortNames = []string{"norc", "ig-eg", "ig-el", "stf-eg", "stf-el", "ig-ep", "stf-ep", "eg", "el", "ep"}
+
 // ParsePolicy resolves a policy name: "norc", "ig-eg", "ig-el",
-// "stf-eg", "stf-el" (the paper's §6.2 combinations), "eg"/"el"
-// (end-rule only), each optionally prefixed with "ff-" for the
-// fault-free-context variant (λ forced to 0).
+// "stf-eg", "stf-el" (the paper's §6.2 combinations), "ig-ep"/"stf-ep"
+// (the proportional-share extension), "eg"/"el"/"ep" (end-rule only), or
+// any canonical name from the core policy registry (e.g.
+// "IteratedGreedy-EndLocal" — see core.RegisteredPolicies). Each form
+// may be prefixed with "ff-" for the fault-free-context variant (λ
+// forced to 0).
 func ParsePolicy(name string) (PolicySpec, error) {
 	base := strings.ToLower(name)
+	raw := name
 	ff := strings.HasPrefix(base, "ff-")
 	if ff {
 		base = strings.TrimPrefix(base, "ff-")
+		raw = raw[len("ff-"):]
 	}
-	pol, ok := policyTable[base]
-	if !ok {
-		return PolicySpec{}, fmt.Errorf("scenario: unknown policy %q (want norc, ig-eg, ig-el, stf-eg, stf-el, eg or el, optionally ff- prefixed)", name)
+	if pol, ok := policyTable[base]; ok {
+		return PolicySpec{Name: strings.ToLower(name), Label: strings.ToLower(name), Policy: pol, FaultFree: ff}, nil
 	}
-	return PolicySpec{Name: strings.ToLower(name), Label: strings.ToLower(name), Policy: pol, FaultFree: ff}, nil
+	// Registry fallback: canonical Policy.String() names are
+	// case-sensitive compositions of registered heuristic names, so the
+	// resolved spec keeps the original spelling (it must round-trip
+	// through manifests and JSONL records).
+	if pol, ok := core.PolicyByName(raw); ok {
+		canonical := raw
+		if ff {
+			canonical = "ff-" + raw
+		}
+		return PolicySpec{Name: canonical, Label: canonical, Policy: pol, FaultFree: ff}, nil
+	}
+	return PolicySpec{}, fmt.Errorf("scenario: unknown policy %q (want %s, a registered policy name, optionally ff- prefixed)",
+		name, strings.Join(shortNames, ", "))
 }
 
-// PolicyName returns the canonical name of a policy combination, with
-// the "ff-" prefix when faultFree is set. It is the inverse of
-// ParsePolicy for every combination the table knows.
+// PolicyName returns the canonical short name of a policy combination,
+// with the "ff-" prefix when faultFree is set. It is the inverse of
+// ParsePolicy for every combination the alias table knows; other
+// registered policies fall back to their registry name.
 func PolicyName(p core.Policy, faultFree bool) (string, error) {
-	// Fixed lookup order keeps the fully-qualified names ahead of the
-	// "eg"/"el" aliases and the result deterministic.
-	for _, name := range []string{"norc", "ig-eg", "ig-el", "stf-eg", "stf-el", "eg", "el"} {
+	prefix := ""
+	if faultFree {
+		prefix = "ff-"
+	}
+	for _, name := range shortNames {
 		if policyTable[name] == p {
-			if faultFree {
-				return "ff-" + name, nil
-			}
-			return name, nil
+			return prefix + name, nil
 		}
 	}
+	// A registry composition round-trips through ParsePolicy's fallback
+	// iff the registry itself resolves it (a policy holding an
+	// unregistered rule id renders as "EndRule(n)" and must error, not
+	// produce an un-parseable name).
+	if s := p.String(); resolvesInRegistry(s, p) {
+		return prefix + s, nil
+	}
 	return "", fmt.Errorf("scenario: policy %v has no canonical name", p)
+}
+
+func resolvesInRegistry(name string, p core.Policy) bool {
+	resolved, ok := core.PolicyByName(name)
+	return ok && resolved == p
+}
+
+// PolicyNames lists the short aliases this package accepts, in canonical
+// order. The full registry compositions accepted alongside them come
+// from core.RegisteredPolicies.
+func PolicyNames() []string {
+	return append([]string(nil), shortNames...)
+}
+
+// FprintPolicies writes every accepted policy name — the short aliases
+// with their resolved combinations, the canonical registry
+// compositions, and the registered rule names. It backs the
+// -list-policies flags of cmd/coschedsim and cmd/campaign.
+func FprintPolicies(w io.Writer) {
+	fmt.Fprintln(w, "short aliases (each also accepts an ff- prefix for the fault-free variant):")
+	for _, name := range shortNames {
+		ps, err := ParsePolicy(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %s\n", name, ps.Policy)
+	}
+	fmt.Fprintln(w, "registry compositions:")
+	for _, name := range core.RegisteredPolicies() {
+		fmt.Fprintf(w, "  %s\n", name)
+	}
+	fmt.Fprintf(w, "registered end rules:  %s\n", strings.Join(core.EndRules(), ", "))
+	fmt.Fprintf(w, "registered fail rules: %s\n", strings.Join(core.FailRules(), ", "))
 }
 
 // PolicySpecs resolves the spec's policy list, applying Labels.

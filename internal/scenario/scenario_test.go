@@ -153,7 +153,7 @@ func TestParsePolicy(t *testing.T) {
 }
 
 func TestPolicyNameInverse(t *testing.T) {
-	for _, name := range []string{"norc", "ig-eg", "ig-el", "stf-eg", "stf-el", "eg", "el", "ff-el", "ff-norc"} {
+	for _, name := range []string{"norc", "ig-eg", "ig-el", "stf-eg", "stf-el", "ig-ep", "stf-ep", "eg", "el", "ep", "ff-el", "ff-norc", "ff-ep"} {
 		ps, err := ParsePolicy(name)
 		if err != nil {
 			t.Fatal(err)
@@ -165,6 +165,50 @@ func TestPolicyNameInverse(t *testing.T) {
 		if got != name {
 			t.Fatalf("PolicyName(ParsePolicy(%s)) = %s", name, got)
 		}
+	}
+}
+
+// TestParsePolicyRegistryNames covers the registry fallback: canonical
+// Policy.String() compositions resolve, round-trip through PolicyName,
+// and keep their case-sensitive spelling in Name (they must re-parse
+// from manifests and JSONL records).
+func TestParsePolicyRegistryNames(t *testing.T) {
+	for name, want := range map[string]struct {
+		pol core.Policy
+		ff  bool
+	}{
+		"IteratedGreedy-EndLocal":           {core.IGEndLocal, false},
+		"IteratedGreedy-EndProportional":    {core.Policy{OnEnd: core.EndProportional, OnFailure: core.FailIteratedGreedy}, false},
+		"ff-FailNone-EndProportional":       {core.Policy{OnEnd: core.EndProportional}, true},
+		"ShortestTasksFirst-EndNone":        {core.Policy{OnFailure: core.FailShortestTasksFirst}, false},
+		"NoRedistribution":                  {core.NoRedistribution, false},
+		"IteratedGreedy-EndAllToLongest-no": {core.Policy{}, false}, // sentinel: must NOT parse
+	} {
+		ps, err := ParsePolicy(name)
+		if strings.HasSuffix(name, "-no") {
+			if err == nil {
+				t.Fatalf("%s: bogus registry name accepted", name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ps.Policy != want.pol || ps.FaultFree != want.ff {
+			t.Fatalf("%s parsed to %+v", name, ps)
+		}
+		if _, err := ParsePolicy(ps.Name); err != nil {
+			t.Fatalf("%s: resolved Name %q does not re-parse: %v", name, ps.Name, err)
+		}
+	}
+}
+
+// TestPolicyNameUnregistered: a policy carrying an unregistered rule id
+// must error rather than fabricate an un-parseable name.
+func TestPolicyNameUnregistered(t *testing.T) {
+	bogus := core.Policy{OnEnd: core.EndRule(1 << 19), OnFailure: core.FailRule(1 << 19)}
+	if name, err := PolicyName(bogus, false); err == nil {
+		t.Fatalf("PolicyName fabricated %q for an unregistered policy", name)
 	}
 }
 

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -47,28 +46,55 @@ type Event struct {
 
 // Queue is a min-heap of events ordered by (Time, seq). The zero value is
 // ready to use. It is not safe for concurrent use.
+//
+// The heap is hand-rolled rather than built on container/heap: the
+// interface-based API boxes every Event on Push, which costs one heap
+// allocation per scheduled event. The manual version keeps the hot loop
+// of the engine allocation-free once the backing array has grown to the
+// run's high-water mark.
 type Queue struct {
-	h   eventHeap
+	h   []Event
 	seq uint64
 }
 
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+// less orders the heap by (Time, seq).
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].Time != q.h[j].Time {
+		return q.h[i].Time < q.h[j].Time
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// up restores the heap property from leaf i towards the root.
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// down restores the heap property from node i towards the leaves.
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		child := l
+		if r := l + 1; r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			return
+		}
+		q.h[i], q.h[child] = q.h[child], q.h[i]
+		i = child
+	}
 }
 
 // Push schedules an event. Non-finite or NaN times are rejected with a
@@ -79,7 +105,8 @@ func (q *Queue) Push(e Event) {
 	}
 	e.seq = q.seq
 	q.seq++
-	heap.Push(&q.h, e)
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. The boolean is false when
@@ -88,7 +115,14 @@ func (q *Queue) Pop() (Event, bool) {
 	if len(q.h) == 0 {
 		return Event{}, false
 	}
-	return heap.Pop(&q.h).(Event), true
+	e := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return e, true
 }
 
 // PopValid pops events until one passes the validity predicate, discarding
@@ -116,6 +150,7 @@ func (q *Queue) Peek() (Event, bool) {
 // Len returns the number of pending events (including stale ones).
 func (q *Queue) Len() int { return len(q.h) }
 
-// Reset discards all pending events but keeps the sequence counter, so
-// event ordering remains deterministic across phases.
+// Reset discards all pending events but keeps the backing array and the
+// sequence counter, so event ordering remains deterministic across phases
+// and re-use never re-grows a warmed-up queue.
 func (q *Queue) Reset() { q.h = q.h[:0] }
