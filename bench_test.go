@@ -335,6 +335,50 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(float64(units)/b.Elapsed().Seconds(), "units/s")
 }
 
+// BenchmarkCampaignThroughputAdaptive runs the same grid under the
+// adaptive precision controller: every point burns replicates only until
+// its 95% batch-means CI is within ±5% of the mean (capped at 64). The
+// headline metrics are units/s and reps_saved — the fraction of the
+// fixed-count budget (points × max) the stopping rule avoided, i.e. what
+// adaptive precision buys at equal statistical quality.
+func BenchmarkCampaignThroughputAdaptive(b *testing.B) {
+	w := workload.Default()
+	w.N = 5
+	w.P = 40
+	w.MTBFYears = 5
+	sp := scenario.Spec{
+		Name:     "bench-adaptive",
+		Workload: w,
+		Policies: []string{"norc", "ig-el", "stf-el", "ff-el"},
+		Base:     "norc",
+		Seed:     1,
+		Axes: []scenario.Axis{
+			{Param: scenario.ParamP, Values: []float64{20, 40, 80}},
+			{Param: scenario.ParamMTBF, Values: []float64{5, 15}},
+		},
+		Precision: &scenario.PrecisionSpec{
+			RelHalfWidth:  0.05,
+			MinReplicates: 4,
+			MaxReplicates: 64,
+			Batch:         4,
+		},
+	}
+	units, budget := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(sp, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		units += res.Units()
+		budget += res.ReplicateBudget()
+	}
+	b.ReportMetric(float64(units)/b.Elapsed().Seconds(), "units/s")
+	if budget > 0 {
+		b.ReportMetric(float64(budget-units)/float64(budget), "reps_saved")
+	}
+}
+
 // BenchmarkEngineSingleRun measures one full simulated execution at the
 // paper's default dimensions divided by ten (n=10, p=100, MTBF 10y),
 // through the one-shot core.Run path (fresh Simulator per run). Compare

@@ -3,12 +3,16 @@
 // (point, replicate) unit on a sharded worker pool with deterministic
 // per-unit RNG streams, and emits aggregate results as JSONL, CSV, and a
 // terminal summary. Campaigns are resumable through a manifest journal.
+// With -precision (or a spec-level precision block) replicate counts are
+// adaptive: each grid point runs only until its confidence intervals
+// meet the target.
 //
 // Examples:
 //
 //	campaign -example > sweep.json          # starter spec to edit
 //	campaign -spec sweep.json -out results.jsonl -csv results.csv
 //	campaign -spec big.json -manifest big.manifest   # interruptible
+//	campaign -spec sweep.json -precision 0.02 -max-reps 500   # adaptive
 //	campaign -figure 8 -reps 5 -shrink 0.2  # a paper figure, campaign-style
 //	campaign -figure 8 -print-spec          # export that figure as JSON
 package main
@@ -36,11 +40,18 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel units (0 = all cores)")
 		outPath   = flag.String("out", "", "write aggregate results as JSONL to this file")
 		csvPath   = flag.String("csv", "", "write the result table as CSV to this file")
+		quantPath = flag.String("quantiles", "", "write per-cell p50/p95 makespan quantiles as CSV to this file")
 		manifest  = flag.String("manifest", "", "resumable journal of completed units (reused on restart)")
 		printSpec = flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
 		example   = flag.Bool("example", false, "print an example scenario spec and exit")
 		quiet     = flag.Bool("quiet", false, "suppress the ASCII chart and progress")
 		listPol   = flag.Bool("list-policies", false, "list accepted policy names and exit")
+
+		precision  = flag.Float64("precision", 0, "adaptive mode: target relative CI half-width per (point, policy) cell (0 = use the spec's precision block, if any)")
+		confidence = flag.Float64("confidence", 0, "adaptive mode: confidence level (default 0.95)")
+		minReps    = flag.Int("min-reps", 0, "adaptive mode: replicate floor per point (default two batches)")
+		maxReps    = flag.Int("max-reps", 0, "adaptive mode: replicate cap per point (default 1000 when -precision sets up a new block)")
+		batch      = flag.Int("batch", 0, "adaptive mode: scheduling batch size (default 8)")
 	)
 	flag.Parse()
 
@@ -60,6 +71,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	applyPrecision(&sp, *precision, *confidence, *minReps, *maxReps, *batch)
 	if *printSpec {
 		if err := sp.Encode(os.Stdout); err != nil {
 			fatalf("%v", err)
@@ -71,9 +83,15 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	units := len(points) * sp.Replicates
-	fmt.Printf("campaign %q: %d grid points × %d replicates = %d units, %d policies\n",
-		sp.Name, len(points), sp.Replicates, units, len(sp.Policies))
+	if sp.Precision != nil {
+		fmt.Printf("campaign %q: %d grid points × adaptive replicates (target ±%g%% rel. CI, %d–%d per point, batches of %d), %d policies\n",
+			sp.Name, len(points), sp.Precision.RelHalfWidth*100, sp.Precision.MinReps(),
+			sp.Precision.MaxReplicates, sp.Precision.BatchSize(), len(sp.Policies))
+	} else {
+		units := len(points) * sp.Replicates
+		fmt.Printf("campaign %q: %d grid points × %d replicates = %d units, %d policies\n",
+			sp.Name, len(points), sp.Replicates, units, len(sp.Policies))
+	}
 
 	opt := campaign.Options{Workers: *workers}
 	if *manifest != "" {
@@ -128,11 +146,84 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
+	if *quantPath != "" {
+		qt, err := res.QuantileTable(0.5, 0.95)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*quantPath, []byte(qt.CSV()), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *quantPath)
+	}
 	if !*quiet {
 		fmt.Println(plot.ASCII(table, 72, 18))
 	}
 	fmt.Printf("campaign %q done: %d units in %v (%.1f units/s)\n",
 		sp.Name, res.Units(), elapsed.Round(time.Millisecond), float64(res.Units())/elapsed.Seconds())
+	if res.Adaptive() {
+		budget := res.ReplicateBudget()
+		saved := 100 * float64(budget-res.Units()) / float64(budget)
+		worst, anyCI, unconverged := 0.0, false, 0
+		for pi := range res.Points {
+			missed := false
+			for qi := range res.Policies {
+				rel, ok := res.CellRelHalfWidth(pi, qi)
+				if !ok {
+					missed = true // no variance estimate: cannot claim convergence
+					continue
+				}
+				anyCI = true
+				if rel > worst {
+					worst = rel
+				}
+				if rel > sp.Precision.RelHalfWidth {
+					missed = true
+				}
+			}
+			if missed {
+				unconverged++
+			}
+		}
+		fmt.Printf("adaptive: spent %d of %d budgeted replicates (%.1f%% saved)",
+			res.Units(), budget, saved)
+		if anyCI {
+			fmt.Printf(", worst rel. CI half-width %.3g", worst)
+		} else {
+			fmt.Printf(", no cell completed two batches (no CI estimate)")
+		}
+		if unconverged > 0 {
+			fmt.Printf(", %d point(s) stopped without meeting the target", unconverged)
+		}
+		fmt.Println()
+	}
+}
+
+// applyPrecision folds the adaptive-mode flags into the spec: -precision
+// creates or retargets the precision block, and the companion flags
+// override individual fields of an existing one.
+func applyPrecision(sp *scenario.Spec, relHW, confidence float64, minReps, maxReps, batch int) {
+	if relHW <= 0 && sp.Precision == nil {
+		return // flags only tune an adaptive campaign
+	}
+	if sp.Precision == nil {
+		sp.Precision = &scenario.PrecisionSpec{MaxReplicates: 1000}
+	}
+	if relHW > 0 {
+		sp.Precision.RelHalfWidth = relHW
+	}
+	if confidence > 0 {
+		sp.Precision.Confidence = confidence
+	}
+	if minReps > 0 {
+		sp.Precision.MinReplicates = minReps
+	}
+	if maxReps > 0 {
+		sp.Precision.MaxReplicates = maxReps
+	}
+	if batch > 0 {
+		sp.Precision.Batch = batch
+	}
 }
 
 // loadSpec resolves the scenario from -spec or -figure and applies the

@@ -18,18 +18,21 @@ import (
 
 	"cosched/internal/experiments"
 	"cosched/internal/plot"
+	"cosched/internal/scenario"
 	"cosched/internal/stats"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure id (5a 5b 6a 6b 7 8 9 10 11 12 13a 13b 13c 14) or 'all'")
-		reps    = flag.Int("reps", 10, "replicates per data point (paper: 50)")
-		seed    = flag.Uint64("seed", 1, "master random seed")
-		shrink  = flag.Float64("shrink", 1, "platform scale factor in (0,1]; 1 = paper scale")
-		outDir  = flag.String("out", "results", "output directory for CSV/SVG files")
-		workers = flag.Int("workers", 0, "parallel runs (0 = all cores)")
-		quiet   = flag.Bool("quiet", false, "suppress ASCII charts")
+		figure    = flag.String("figure", "all", "figure id (5a 5b 6a 6b 7 8 9 10 11 12 13a 13b 13c 14) or 'all'")
+		reps      = flag.Int("reps", 10, "replicates per data point (paper: 50)")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		shrink    = flag.Float64("shrink", 1, "platform scale factor in (0,1]; 1 = paper scale")
+		outDir    = flag.String("out", "results", "output directory for CSV/SVG files")
+		workers   = flag.Int("workers", 0, "parallel runs (0 = all cores)")
+		quiet     = flag.Bool("quiet", false, "suppress ASCII charts")
+		precision = flag.Float64("precision", 0, "adaptive replicates: target relative CI half-width per cell (0 = fixed -reps)")
+		maxReps   = flag.Int("max-reps", 200, "with -precision: replicate cap per grid point")
 	)
 	flag.Parse()
 
@@ -37,6 +40,9 @@ func main() {
 		fatalf("%v", err)
 	}
 	params := experiments.Params{Reps: *reps, Seed: *seed, Shrink: *shrink, Workers: *workers}
+	if *precision > 0 {
+		params.Precision = &scenario.PrecisionSpec{RelHalfWidth: *precision, MaxReplicates: *maxReps}
+	}
 
 	ids := strings.Split(*figure, ",")
 	if *figure == "all" {
@@ -56,14 +62,28 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("running figure %s: %s (%d points × %d series × %d reps)\n",
-			id, sweep.Title, len(sweep.X), len(sweep.Series), sweep.Reps)
-		table, err := sweep.Run()
+		if sweep.Precision != nil {
+			fmt.Printf("running figure %s: %s (%d points × %d series, adaptive reps ≤ %d)\n",
+				id, sweep.Title, len(sweep.X), len(sweep.Series), sweep.Precision.MaxReplicates)
+		} else {
+			fmt.Printf("running figure %s: %s (%d points × %d series × %d reps)\n",
+				id, sweep.Title, len(sweep.X), len(sweep.Series), sweep.Reps)
+		}
+		res, err := sweep.RunCampaign()
+		if err != nil {
+			fatalf("figure %s: %v", id, err)
+		}
+		table, err := res.Table()
 		if err != nil {
 			fatalf("figure %s: %v", id, err)
 		}
 		if err := emit(table, filepath.Join(*outDir, "fig"+id), *quiet); err != nil {
 			fatalf("figure %s: %v", id, err)
+		}
+		if res.Adaptive() {
+			budget := res.ReplicateBudget()
+			fmt.Printf("figure %s adaptive: %d of %d budgeted replicates (%.1f%% saved)\n",
+				id, res.Units(), budget, 100*float64(budget-res.Units())/float64(budget))
 		}
 		fmt.Printf("figure %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
 	}

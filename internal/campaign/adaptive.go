@@ -1,0 +1,273 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cosched/internal/core"
+	"cosched/internal/scenario"
+	"cosched/internal/stats"
+)
+
+// CellQuantiles are the quantiles an adaptive campaign tracks per cell
+// through streaming P² sketches (fixed campaigns compute any quantile
+// exactly from their raw samples).
+var CellQuantiles = []float64{0.5, 0.95}
+
+// cellState is the streaming aggregate of one (point, policy) cell of an
+// adaptive campaign: Summary-compatible moments, the batch-means CI that
+// drives the stopping rule, and P² quantile sketches. Replicates fold in
+// replicate order, so every field is a deterministic function of the
+// folded prefix.
+type cellState struct {
+	acc    stats.Accumulator
+	bm     stats.BatchMeans
+	quants *stats.QuantileSet
+}
+
+func (c *cellState) add(x float64) {
+	c.acc.Add(x)
+	c.bm.Add(x)
+	c.quants.Add(x)
+}
+
+// pointState is the controller state of one grid point.
+type pointState struct {
+	folded      int               // contiguous replicates folded into cells
+	outstanding int               // replicates queued or in flight
+	pending     map[int][]float64 // completed or restored, not yet folded
+	stopped     bool
+}
+
+type unitJob struct{ point, rep int }
+
+type unitResult struct {
+	point, rep int
+	makespans  []float64
+	err        error
+}
+
+// adaptiveController sequences an adaptive campaign. All state is owned
+// by the coordinating goroutine; workers only see jobs and results.
+//
+// Determinism contract: replicates fold strictly in replicate order per
+// point (out-of-order completions buffer in pending), and the stopping
+// rule is evaluated only when the folded count reaches a batch boundary
+// — so every decision is a pure function of the folded prefix, which is
+// itself a pure function of (spec, seed). Worker count and arrival order
+// cannot change the outcome, only the wall-clock.
+type adaptiveController struct {
+	sp       scenario.Spec
+	opt      Options
+	res      *Result
+	batch    int
+	minReps  int
+	maxReps  int
+	conf     float64
+	relHW    float64
+	points   []pointState
+	queue    []unitJob
+	inflight int // queued + dispatched, not yet handled
+	done     int // folded replicates, including restored ones
+	estTotal int // points×max, shrunk as points stop early
+	firstErr error
+}
+
+// runAdaptive executes a scenario carrying a precision block.
+func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics) (*Result, error) {
+	prec := *sp.Precision
+	res := &Result{Spec: sp, Points: points, Policies: policies, adaptive: true}
+	res.Reps = make([]int, len(points))
+	res.cells = make([][]cellState, len(points))
+	for pi := range res.cells {
+		cs := make([]cellState, len(policies))
+		for qi := range cs {
+			cs[qi].bm = stats.NewBatchMeans(prec.BatchSize())
+			cs[qi].quants = stats.NewQuantileSet(CellQuantiles...)
+		}
+		res.cells[pi] = cs
+	}
+
+	c := &adaptiveController{
+		sp:      sp,
+		opt:     opt,
+		res:     res,
+		batch:   prec.BatchSize(),
+		minReps: prec.MinReps(),
+		maxReps: prec.MaxReplicates,
+		conf:    prec.ConfidenceLevel(),
+		relHW:   prec.RelHalfWidth,
+		points:  make([]pointState, len(points)),
+	}
+	c.estTotal = len(points) * c.maxReps
+	for pi := range c.points {
+		c.points[pi].pending = make(map[int][]float64)
+	}
+
+	if opt.Manifest != nil {
+		rcap := sp.ReplicateCap()
+		_, err := opt.Manifest.restore(sp, len(policies), func(unit int, makespans []float64) {
+			c.points[unit/rcap].pending[unit%rcap] = makespans
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Replay restored prefixes through the stopping rule — resumed
+	// campaigns honor prior batches — and schedule the first live batch
+	// of every point that is not already settled.
+	for pi := range c.points {
+		c.advance(pi)
+	}
+	if opt.Progress != nil && c.done > 0 {
+		opt.Progress(c.done, c.estTotal)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// One in-flight batch per point bounds useful parallelism.
+	if maxPar := len(points) * c.batch; workers > maxPar {
+		workers = maxPar
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	jobs := make(chan unitJob)
+	results := make(chan unitResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := newWorkerState()
+			for job := range jobs {
+				makespans, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep)
+				r := unitResult{point: job.point, rep: job.rep, err: err}
+				if err == nil {
+					// runUnit reuses its buffer; the result outlives it.
+					r.makespans = append([]float64(nil), makespans...)
+				}
+				results <- r
+			}
+		}()
+	}
+
+	// Coordinator: interleave dispatching queued jobs with folding
+	// results until every point has stopped and nothing is in flight.
+	for c.inflight > 0 {
+		var dispatch chan unitJob
+		var next unitJob
+		if len(c.queue) > 0 {
+			dispatch, next = jobs, c.queue[0]
+		}
+		select {
+		case dispatch <- next:
+			c.queue = c.queue[1:]
+		case r := <-results:
+			c.handle(r)
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if c.firstErr != nil {
+		return nil, c.firstErr
+	}
+	return res, nil
+}
+
+// handle folds one completed unit and advances its point.
+func (c *adaptiveController) handle(r unitResult) {
+	ps := &c.points[r.point]
+	ps.outstanding--
+	c.inflight--
+	if r.err != nil {
+		if c.firstErr == nil {
+			c.firstErr = fmt.Errorf("campaign: point %d (x=%v) rep %d: %w",
+				r.point, c.res.Points[r.point].X, r.rep, r.err)
+		}
+		return
+	}
+	ps.pending[r.rep] = r.makespans
+	if c.opt.Manifest != nil {
+		unit := r.point*c.sp.ReplicateCap() + r.rep
+		if err := c.opt.Manifest.append(unit, r.makespans); err != nil && c.firstErr == nil {
+			c.firstErr = err
+		}
+	}
+	c.advance(r.point)
+	if c.opt.Progress != nil {
+		c.opt.Progress(c.done, c.estTotal)
+	}
+}
+
+// advance folds the point's contiguous pending replicates, evaluates the
+// stopping rule at batch boundaries, and — when the current batch is
+// fully folded and the point continues — queues the next one. After an
+// error no new work is queued; already-queued jobs drain harmlessly.
+func (c *adaptiveController) advance(pi int) {
+	ps := &c.points[pi]
+	for !ps.stopped {
+		makespans, ok := ps.pending[ps.folded]
+		if !ok {
+			break
+		}
+		delete(ps.pending, ps.folded)
+		cells := c.res.cells[pi]
+		for qi := range cells {
+			cells[qi].add(makespans[qi])
+		}
+		ps.folded++
+		c.res.Reps[pi] = ps.folded
+		c.done++
+		if ps.folded == c.maxReps || ps.folded%c.batch == 0 {
+			ps.stopped = c.shouldStop(pi)
+		}
+	}
+	if ps.stopped {
+		c.estTotal -= c.maxReps - ps.folded
+		return
+	}
+	if ps.outstanding > 0 || c.firstErr != nil {
+		return
+	}
+	// Queue the unfinished remainder of the batch containing folded.
+	// Restored replicates already sitting in pending are skipped, so a
+	// resume re-runs only what the interrupted campaign never journaled.
+	batchEnd := (ps.folded/c.batch + 1) * c.batch
+	if batchEnd > c.maxReps {
+		batchEnd = c.maxReps
+	}
+	for rep := ps.folded; rep < batchEnd; rep++ {
+		if _, ok := ps.pending[rep]; ok {
+			continue
+		}
+		c.queue = append(c.queue, unitJob{point: pi, rep: rep})
+		ps.outstanding++
+		c.inflight++
+	}
+}
+
+// shouldStop evaluates the sequential stopping rule for one point: stop
+// at the replicate cap, never before the floor, and otherwise only once
+// every policy's batch-means CI half-width is within the target relative
+// to its mean.
+func (c *adaptiveController) shouldStop(pi int) bool {
+	ps := &c.points[pi]
+	if ps.folded >= c.maxReps {
+		return true
+	}
+	if ps.folded < c.minReps {
+		return false
+	}
+	cells := c.res.cells[pi]
+	for qi := range cells {
+		if !cells[qi].bm.Converged(c.conf, c.relHW) {
+			return false
+		}
+	}
+	return true
+}

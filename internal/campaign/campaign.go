@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 
@@ -51,13 +52,26 @@ type Options struct {
 }
 
 // Result is a completed campaign: the expanded grid, the resolved
-// policies, and every replicate makespan.
+// policies, and the per-cell replicate aggregates. Fixed-replicate
+// campaigns keep every raw makespan in Makespans; adaptive campaigns
+// (spec with a precision block) never store raw samples and hold
+// streaming accumulators instead — Cell, Quantile and Table work
+// identically for both.
 type Result struct {
 	Spec     scenario.Spec
 	Points   []scenario.RunPoint
 	Policies []scenario.PolicySpec
-	// Makespans is indexed [point][policy][replicate].
+	// Makespans is indexed [point][policy][replicate]. It is nil for
+	// adaptive campaigns, which only retain streaming aggregates.
 	Makespans [][][]float64
+	// Reps is the number of replicates actually executed at each grid
+	// point (the fixed count, or whatever the adaptive stopping rule
+	// decided).
+	Reps []int
+	// cells holds the streaming per-(point, policy) aggregates of an
+	// adaptive campaign, folded in replicate order.
+	cells    [][]cellState
+	adaptive bool
 }
 
 // Run executes the scenario and blocks until every unit completed.
@@ -77,10 +91,15 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sp.Precision != nil {
+		return runAdaptive(sp, opt, points, policies, semantics)
+	}
 
 	res := &Result{Spec: sp, Points: points, Policies: policies}
+	res.Reps = make([]int, len(points))
 	res.Makespans = make([][][]float64, len(points))
 	for pi := range points {
+		res.Reps[pi] = sp.Replicates
 		res.Makespans[pi] = make([][]float64, len(policies))
 		for qi := range policies {
 			res.Makespans[pi][qi] = make([]float64, sp.Replicates)
@@ -258,11 +277,129 @@ func faultFreeOnly(policies []scenario.PolicySpec) bool {
 	return true
 }
 
-// Cell aggregates one (point, policy) cell of the campaign.
+// Cell aggregates one (point, policy) cell of the campaign. Fixed and
+// adaptive campaigns fold replicates through the same accumulator in the
+// same (replicate) order, so for equal replicate counts the summaries
+// are bit-identical.
 func (r *Result) Cell(point, policy int) stats.Summary {
+	if r.adaptive {
+		return r.cells[point][policy].acc.Summary()
+	}
 	var a stats.Accumulator
 	a.AddAll(r.Makespans[point][policy])
 	return a.Summary()
+}
+
+// Quantile returns the q-quantile of a cell's makespan distribution:
+// exact order statistics for fixed campaigns (raw samples exist), the
+// streaming P² estimate for adaptive campaigns. ok is false when the
+// cell is empty or, for adaptive campaigns, when q is not one of the
+// tracked quantiles (see CellQuantiles).
+func (r *Result) Quantile(point, policy int, q float64) (float64, bool) {
+	if r.adaptive {
+		return r.cells[point][policy].quants.Quantile(q)
+	}
+	mk := r.Makespans[point][policy]
+	if len(mk) == 0 {
+		return 0, false
+	}
+	return stats.Quantile(mk, q), true
+}
+
+// CellRelHalfWidth reports the achieved relative confidence-interval
+// half-width of one cell at the campaign's confidence level (the
+// precision block's, or 95% for fixed campaigns): batch-means Student-t
+// for adaptive campaigns, the classic t interval over raw replicates
+// otherwise. ok is false while no variance estimate exists.
+func (r *Result) CellRelHalfWidth(point, policy int) (float64, bool) {
+	conf := 0.95
+	if r.Spec.Precision != nil {
+		conf = r.Spec.Precision.ConfidenceLevel()
+	}
+	var hw, mean float64
+	if r.adaptive {
+		c := &r.cells[point][policy]
+		w, ok := c.bm.HalfWidth(conf)
+		if !ok {
+			return 0, false
+		}
+		hw, mean = w, math.Abs(c.bm.Mean())
+	} else {
+		var a stats.Accumulator
+		a.AddAll(r.Makespans[point][policy])
+		if a.N() < 2 {
+			return 0, false
+		}
+		hw, mean = stats.TCrit(a.N()-1, conf)*a.StdErr(), math.Abs(a.Mean())
+	}
+	if mean == 0 {
+		if hw == 0 {
+			return 0, true
+		}
+		return math.Inf(1), true
+	}
+	return hw / mean, true
+}
+
+// Adaptive reports whether the campaign ran under a precision block.
+func (r *Result) Adaptive() bool { return r.adaptive }
+
+// ReplicateBudget returns the worst-case unit count: grid points times
+// the replicate cap. Compare with Units() to see what adaptive stopping
+// saved.
+func (r *Result) ReplicateBudget() int {
+	return len(r.Points) * r.Spec.ReplicateCap()
+}
+
+// QuantileTable renders per-cell quantiles as a stats.Table: one series
+// per (policy, quantile) pair, named "<label> p50" etc. Adaptive
+// campaigns serve the tracked quantiles (CellQuantiles) from their P²
+// sketches; fixed campaigns compute any quantile exactly.
+func (r *Result) QuantileTable(qs ...float64) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  r.Spec.Name + " quantiles",
+		XLabel: r.Spec.XLabel,
+		YLabel: "makespan quantile (s)",
+	}
+	if t.XLabel == "" {
+		t.XLabel = "x"
+	}
+	for _, pt := range r.Points {
+		t.X = append(t.X, pt.X)
+	}
+	for qi, pol := range r.Policies {
+		ys := make([][]float64, len(qs))
+		for i := range ys {
+			ys[i] = make([]float64, len(r.Points))
+		}
+		for pi := range r.Points {
+			if r.adaptive {
+				for i, q := range qs {
+					v, ok := r.Quantile(pi, qi, q)
+					if !ok {
+						return nil, fmt.Errorf("campaign: quantile %v unavailable for cell (%d, %s)", q, pi, pol.Name)
+					}
+					ys[i][pi] = v
+				}
+				continue
+			}
+			mk := r.Makespans[pi][qi]
+			if len(mk) == 0 {
+				return nil, fmt.Errorf("campaign: cell (%d, %s) is empty", pi, pol.Name)
+			}
+			// Sort each cell once for all requested quantiles.
+			for i, v := range stats.ExactQuantiles(mk, qs...) {
+				ys[i][pi] = v
+			}
+		}
+		for i, q := range qs {
+			name := fmt.Sprintf("%s p%g", pol.Label, q*100)
+			if err := t.AddSeries(name, ys[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
 }
 
 // Table folds the campaign into a stats.Table: one series per policy
@@ -349,5 +486,13 @@ func (r *Result) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// Units returns the campaign's unit count (points × replicates).
-func (r *Result) Units() int { return len(r.Points) * r.Spec.Replicates }
+// Units returns the number of (point, replicate) units the campaign
+// executed: points × replicates for fixed campaigns, whatever the
+// stopping rule decided for adaptive ones.
+func (r *Result) Units() int {
+	total := 0
+	for _, n := range r.Reps {
+		total += n
+	}
+	return total
+}

@@ -74,7 +74,7 @@ func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, mak
 	}
 	head := manifestHeader{
 		Fingerprint: fmt.Sprintf("%016x", fp),
-		Units:       len(points) * sp.Replicates,
+		Units:       len(points) * sp.ReplicateCap(),
 		Policies:    policies,
 	}
 

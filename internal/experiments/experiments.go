@@ -77,6 +77,9 @@ type Sweep struct {
 	Base string
 	Reps int
 	Seed uint64
+	// Precision, when set, runs the sweep adaptively through the
+	// campaign runner's precision controller instead of a fixed Reps.
+	Precision *scenario.PrecisionSpec
 	// Semantics for all runs (paper-faithful expected times by default).
 	Semantics core.Semantics
 	// Workers bounds run parallelism; 0 means GOMAXPROCS.
@@ -104,6 +107,7 @@ func (s Sweep) Scenario() (scenario.Spec, error) {
 		Base:       s.Base,
 		Replicates: reps,
 		Seed:       s.Seed,
+		Precision:  s.Precision,
 	}
 	if s.Semantics == core.SemanticsDeterministic {
 		sp.Semantics = "deterministic"
@@ -138,6 +142,18 @@ func (s Sweep) Scenario() (scenario.Spec, error) {
 // aggregated (and, when Base is set, normalized) table of mean
 // makespans.
 func (s Sweep) Run() (*stats.Table, error) {
+	res, err := s.RunCampaign()
+	if err != nil {
+		return nil, err
+	}
+	return res.Table()
+}
+
+// RunCampaign executes the sweep and returns the full campaign result —
+// per-point replicate counts, quantiles, precision diagnostics — for
+// callers that need more than Run's distilled table (e.g. reporting
+// what an adaptive sweep saved).
+func (s Sweep) RunCampaign() (*campaign.Result, error) {
 	sp, err := s.Scenario()
 	if err != nil {
 		return nil, err
@@ -146,5 +162,5 @@ func (s Sweep) Run() (*stats.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: sweep %s: %w", s.ID, err)
 	}
-	return res.Table()
+	return res, nil
 }

@@ -16,6 +16,10 @@ type Params struct {
 	Seed    uint64  // master seed (default 1)
 	Shrink  float64 // 0 or 1 = paper scale; 0.2 = fifth-scale platform
 	Workers int     // run parallelism (0 = GOMAXPROCS)
+	// Precision, when set, runs the figure adaptively: each grid point
+	// burns replicates only until the target CI half-width is met
+	// (Reps is then ignored; the block's own min/max bounds apply).
+	Precision *scenario.PrecisionSpec
 }
 
 func (p Params) norm() Params {
@@ -249,6 +253,15 @@ func Figure14(pr Params) (Sweep, error) {
 // Figure 9 has a dedicated entry point (Figure9) because it is a
 // single-execution study, not a sweep.
 func ByID(id string, pr Params) (Sweep, error) {
+	sw, err := byID(id, pr)
+	if err != nil {
+		return Sweep{}, err
+	}
+	sw.Precision = pr.Precision
+	return sw, nil
+}
+
+func byID(id string, pr Params) (Sweep, error) {
 	switch id {
 	case "5a", "5b":
 		return Figure5(id[1:], pr)

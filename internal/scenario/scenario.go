@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -33,6 +34,94 @@ type FailureSpec struct {
 	// Shape is the Weibull shape parameter k (shape < 1 models infant
 	// mortality). Ignored for the exponential law.
 	Shape float64 `json:"shape,omitempty"`
+}
+
+// PrecisionSpec switches a campaign from fixed replicate counts to
+// adaptive, precision-driven sampling: the runner schedules replicates
+// in batches per grid point and stops a point as soon as every policy's
+// batch-means Student-t confidence interval is tight enough, instead of
+// burning the same count whether the estimate converged after 50
+// replicates or still wobbles after 5000. When a spec carries a
+// precision block, its fixed `replicates` count is ignored.
+//
+// Stopping decisions are evaluated only at batch boundaries over
+// replicates folded in replicate order, so they depend on completed
+// batch counts alone — never on worker count or arrival order — and an
+// adaptive campaign is exactly as deterministic as a fixed one.
+type PrecisionSpec struct {
+	// RelHalfWidth is the target relative confidence-interval half-width
+	// h: a (point, policy) cell has converged when t·s_B/√B ≤ h·|mean|,
+	// with s_B the standard deviation over completed batch means.
+	RelHalfWidth float64 `json:"rel_half_width"`
+	// Confidence is the two-sided confidence level (default 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// MinReplicates floors the replicate count per point (default two
+	// batches, the minimum with a defined variance estimate).
+	MinReplicates int `json:"min_replicates,omitempty"`
+	// MaxReplicates caps the replicate count per point; a point that
+	// never converges stops there. Required.
+	MaxReplicates int `json:"max_replicates"`
+	// Batch is the scheduling granularity (default 8): replicates run in
+	// batches of this size and the stopping rule is checked between
+	// batches.
+	Batch int `json:"batch,omitempty"`
+}
+
+// BatchSize returns the effective scheduling batch size, clamped to the
+// replicate cap.
+func (p PrecisionSpec) BatchSize() int {
+	b := p.Batch
+	if b <= 0 {
+		b = 8
+	}
+	if p.MaxReplicates > 0 && b > p.MaxReplicates {
+		b = p.MaxReplicates
+	}
+	return b
+}
+
+// ConfidenceLevel returns the effective confidence level.
+func (p PrecisionSpec) ConfidenceLevel() float64 {
+	if p.Confidence > 0 {
+		return p.Confidence
+	}
+	return 0.95
+}
+
+// MinReps returns the effective replicate floor: the explicit minimum,
+// defaulting to two batches, never above the cap.
+func (p PrecisionSpec) MinReps() int {
+	m := p.MinReplicates
+	if m <= 0 {
+		m = 2 * p.BatchSize()
+	}
+	if m > p.MaxReplicates {
+		m = p.MaxReplicates
+	}
+	return m
+}
+
+// validate checks the block in isolation; Spec.Validate calls it.
+func (p PrecisionSpec) validate(ident string) error {
+	if !(p.RelHalfWidth > 0) || math.IsInf(p.RelHalfWidth, 0) {
+		return fmt.Errorf("scenario: %s precision needs a positive finite rel_half_width, got %v", ident, p.RelHalfWidth)
+	}
+	if p.Confidence != 0 && (p.Confidence <= 0 || p.Confidence >= 1 || math.IsNaN(p.Confidence)) {
+		return fmt.Errorf("scenario: %s precision confidence %v outside (0,1)", ident, p.Confidence)
+	}
+	if p.MinReplicates < 0 {
+		return fmt.Errorf("scenario: %s precision has a negative min_replicates %d", ident, p.MinReplicates)
+	}
+	if p.MaxReplicates < 1 {
+		return fmt.Errorf("scenario: %s precision needs max_replicates ≥ 1, got %d", ident, p.MaxReplicates)
+	}
+	if p.MinReplicates > p.MaxReplicates {
+		return fmt.Errorf("scenario: %s precision min_replicates %d exceeds max_replicates %d", ident, p.MinReplicates, p.MaxReplicates)
+	}
+	if p.Batch < 0 {
+		return fmt.Errorf("scenario: %s precision has a negative batch %d", ident, p.Batch)
+	}
+	return nil
 }
 
 // Axis is one dimension of a cartesian parameter grid.
@@ -69,6 +158,11 @@ type Spec struct {
 
 	Replicates int    `json:"replicates"`
 	Seed       uint64 `json:"seed"`
+	// Precision, when set, makes the campaign adaptive: Replicates is
+	// ignored and each grid point runs only until its confidence
+	// intervals meet the target (between MinReplicates and
+	// MaxReplicates, in batches).
+	Precision *PrecisionSpec `json:"precision,omitempty"`
 	// Semantics is "" or "expected" (paper-faithful) or "deterministic".
 	Semantics string `json:"semantics,omitempty"`
 
@@ -404,8 +498,13 @@ func (s Spec) ident() string {
 // failure law, replicate count, and that every expanded grid point
 // yields a simulable workload.
 func (s Spec) Validate() error {
-	if s.Replicates <= 0 {
+	if s.Precision == nil && s.Replicates <= 0 {
 		return fmt.Errorf("scenario: %s needs a positive replicate count, got %d", s.ident(), s.Replicates)
+	}
+	if s.Precision != nil {
+		if err := s.Precision.validate(s.ident()); err != nil {
+			return err
+		}
 	}
 	pols, err := s.PolicySpecs()
 	if err != nil {
@@ -454,6 +553,17 @@ func (s Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ReplicateCap returns the per-point replicate budget: the fixed
+// replicate count, or the precision block's max_replicates for adaptive
+// campaigns. Campaign unit indices and manifest capacities derive from
+// it, so it is stable for a given spec.
+func (s Spec) ReplicateCap() int {
+	if s.Precision != nil {
+		return s.Precision.MaxReplicates
+	}
+	return s.Replicates
 }
 
 // Decode reads and validates a JSON spec.

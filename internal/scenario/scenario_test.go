@@ -36,6 +36,7 @@ func TestSpecRoundTrip(t *testing.T) {
 	sp := testSpec()
 	sp.Failure = FailureSpec{Law: "weibull", Shape: 0.7}
 	sp.Labels = []string{"base", "greedy", "bound"}
+	sp.Precision = &PrecisionSpec{RelHalfWidth: 0.02, Confidence: 0.9, MinReplicates: 4, MaxReplicates: 100, Batch: 5}
 	if err := sp.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -226,6 +227,10 @@ func TestValidateCatchesBadSpecs(t *testing.T) {
 		func(s *Spec) { s.Axes[0].Values = []float64{7} }, // odd p
 		func(s *Spec) { s.Axes[0].Values = []float64{2} }, // p < 2n
 		func(s *Spec) { s.Axes[0].Values = nil },
+		func(s *Spec) { s.Precision = &PrecisionSpec{MaxReplicates: 10} },  // no target
+		func(s *Spec) { s.Precision = &PrecisionSpec{RelHalfWidth: 0.05} }, // no cap
+		func(s *Spec) { s.Precision = &PrecisionSpec{RelHalfWidth: 0.05, MaxReplicates: 10, Confidence: 2} },
+		func(s *Spec) { s.Precision = &PrecisionSpec{RelHalfWidth: 0.05, MaxReplicates: 4, MinReplicates: 9} },
 	}
 	for i, mutate := range bad {
 		sp := testSpec()
@@ -236,6 +241,34 @@ func TestValidateCatchesBadSpecs(t *testing.T) {
 	}
 	if err := testSpec().Validate(); err != nil {
 		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestPrecisionDefaults(t *testing.T) {
+	p := PrecisionSpec{RelHalfWidth: 0.05, MaxReplicates: 100}
+	if p.BatchSize() != 8 || p.ConfidenceLevel() != 0.95 || p.MinReps() != 16 {
+		t.Fatalf("defaults: batch=%d conf=%v min=%d", p.BatchSize(), p.ConfidenceLevel(), p.MinReps())
+	}
+	// The batch and floor clamp to the cap.
+	small := PrecisionSpec{RelHalfWidth: 0.05, MaxReplicates: 3}
+	if small.BatchSize() != 3 || small.MinReps() != 3 {
+		t.Fatalf("cap clamping: batch=%d min=%d", small.BatchSize(), small.MinReps())
+	}
+	explicit := PrecisionSpec{RelHalfWidth: 0.05, MaxReplicates: 50, MinReplicates: 5, Batch: 10, Confidence: 0.99}
+	if explicit.BatchSize() != 10 || explicit.ConfidenceLevel() != 0.99 || explicit.MinReps() != 5 {
+		t.Fatalf("explicit values not honored: %+v", explicit)
+	}
+
+	sp := testSpec()
+	if sp.ReplicateCap() != sp.Replicates {
+		t.Fatalf("fixed ReplicateCap = %d, want %d", sp.ReplicateCap(), sp.Replicates)
+	}
+	sp.Precision = &PrecisionSpec{RelHalfWidth: 0.05, MaxReplicates: 77}
+	if sp.ReplicateCap() != 77 {
+		t.Fatalf("adaptive ReplicateCap = %d, want 77", sp.ReplicateCap())
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("valid precision block rejected: %v", err)
 	}
 }
 

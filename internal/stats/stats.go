@@ -12,15 +12,21 @@ import (
 )
 
 // Accumulator computes streaming mean and variance (Welford's algorithm)
-// together with min and max. The zero value is ready to use.
+// together with min and max. The zero value is ready to use. Non-finite
+// inputs taint the accumulator (Valid reports it) and propagate NaN/Inf
+// through the moments, as IEEE arithmetic dictates.
 type Accumulator struct {
 	n        int
 	mean, m2 float64
 	min, max float64
+	tainted  bool
 }
 
 // Add folds x into the accumulator.
 func (a *Accumulator) Add(x float64) {
+	if x-x != 0 { // NaN or ±Inf
+		a.tainted = true
+	}
 	a.n++
 	if a.n == 1 {
 		a.min, a.max = x, x
@@ -50,13 +56,25 @@ func (a *Accumulator) N() int { return a.n }
 // Mean returns the sample mean (0 when empty).
 func (a *Accumulator) Mean() float64 { return a.mean }
 
+// Valid reports whether every folded observation was finite. A tainted
+// accumulator's moments are IEEE garbage (NaN/Inf) and must not feed
+// stopping rules or result sinks.
+func (a *Accumulator) Valid() bool { return !a.tainted }
+
 // Variance returns the unbiased sample variance (0 with fewer than two
-// observations).
+// observations). Each Welford increment is mathematically non-negative,
+// but the sum is clamped at zero anyway so near-constant streams can
+// never yield a (tiny) negative variance — and a NaN standard deviation
+// — through floating-point cancellation.
 func (a *Accumulator) Variance() float64 {
 	if a.n < 2 {
 		return 0
 	}
-	return a.m2 / float64(a.n-1)
+	v := a.m2 / float64(a.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // StdDev returns the unbiased sample standard deviation.
@@ -68,7 +86,11 @@ func (a *Accumulator) PopStdDev() float64 {
 	if a.n == 0 {
 		return 0
 	}
-	return math.Sqrt(a.m2 / float64(a.n))
+	v := a.m2 / float64(a.n)
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
 }
 
 // Min returns the smallest observation (0 when empty).
@@ -124,10 +146,17 @@ func PopStdDev(xs []float64) float64 {
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
-// interpolation between order statistics. It panics on an empty slice.
+// interpolation between order statistics. It panics on an empty slice
+// and returns NaN when xs contains a NaN (sort would silently park NaNs
+// at the front and shift every order statistic).
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	if q < 0 {
 		q = 0
@@ -137,6 +166,18 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted interpolates the q-quantile of an already-sorted,
+// non-empty slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
