@@ -1,0 +1,136 @@
+// Command bench runs the repository's headline benchmarks and writes
+// them to a JSON perf ledger (BENCH_<n>.json at the repo root), so that
+// performance PRs record comparable before/after numbers instead of
+// pasting ad-hoc console output. Each ledger entry maps a benchmark to
+// its reported metrics (ns/op, allocs/op, units/s, ...).
+//
+// Examples:
+//
+//	go run ./cmd/bench                          # 1s per bench → BENCH.json
+//	go run ./cmd/bench -out BENCH_4.json        # this PR's ledger
+//	go run ./cmd/bench -benchtime 1x -out /tmp/smoke.json   # CI smoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// headline is the default benchmark set: the Monte-Carlo steady state
+// (RunSingle), the one-shot path (EngineSingleRun), the campaign runner
+// end to end (CampaignThroughput[Adaptive]), and the compiled-model
+// micro pair (ExpectedTimeRaw vs CompiledAt, plus the table build).
+const headline = "BenchmarkRunSingle$|BenchmarkEngineSingleRun$" +
+	"|BenchmarkCampaignThroughput$|BenchmarkCampaignThroughputAdaptive$" +
+	"|BenchmarkExpectedTimeRaw$|BenchmarkCompiledAt$|BenchmarkCompile$"
+
+// ledger is the JSON document layout.
+type ledger struct {
+	BenchTime  string                        `json:"benchtime"`
+	Goos       string                        `json:"goos,omitempty"`
+	Goarch     string                        `json:"goarch,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchtime = flag.String("benchtime", "1s", "per-benchmark budget passed to go test (e.g. 1s, 100x)")
+		benchRE   = flag.String("bench", headline, "benchmark selection regex passed to go test")
+		out       = flag.String("out", "BENCH.json", "output JSON file")
+		count     = flag.Int("count", 1, "runs per benchmark (go test -count); metrics keep the last run")
+	)
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *benchRE,
+		"-benchtime", *benchtime,
+		"-benchmem",
+		"-count", strconv.Itoa(*count),
+		".", "./internal/model",
+	}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fatalf("go test: %v\n%s", err, buf.String())
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	led := parse(buf.String())
+	led.BenchTime = *benchtime
+	if len(led.Benchmarks) == 0 {
+		fatalf("no benchmark lines in go test output")
+	}
+	data, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("bench: wrote %s (%d benchmarks)\n", *out, len(led.Benchmarks))
+}
+
+// parse extracts benchmark metric lines from go test -bench output.
+// A result line reads "BenchmarkName-8  206  5741459 ns/op  4180 units/s
+// 36880 B/op  406 allocs/op": the name (GOMAXPROCS suffix stripped), the
+// iteration count, then (value, unit) metric pairs.
+func parse(outp string) ledger {
+	led := ledger{Benchmarks: map[string]map[string]float64{}}
+	for _, line := range strings.Split(outp, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		if len(f) >= 2 {
+			switch f[0] {
+			case "goos:":
+				led.Goos = f[1]
+				continue
+			case "goarch:":
+				led.Goarch = f[1]
+				continue
+			case "cpu:":
+				led.CPU = strings.Join(f[1:], " ")
+				continue
+			}
+		}
+		if !strings.HasPrefix(f[0], "Benchmark") || len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[f[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			led.Benchmarks[name] = metrics
+		}
+	}
+	return led
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

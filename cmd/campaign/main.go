@@ -26,6 +26,7 @@ import (
 	"cosched/internal/campaign"
 	"cosched/internal/experiments"
 	"cosched/internal/plot"
+	"cosched/internal/profiling"
 	"cosched/internal/scenario"
 	"cosched/internal/workload"
 )
@@ -52,8 +53,17 @@ func main() {
 		minReps    = flag.Int("min-reps", 0, "adaptive mode: replicate floor per point (default two batches)")
 		maxReps    = flag.Int("max-reps", 0, "adaptive mode: replicate cap per point (default 1000 when -precision sets up a new block)")
 		batch      = flag.Int("batch", 0, "adaptive mode: scheduling batch size (default 8)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start("campaign", *cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProfiles()
 
 	if *listPol {
 		scenario.FprintPolicies(os.Stdout)

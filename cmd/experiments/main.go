@@ -18,6 +18,7 @@ import (
 
 	"cosched/internal/experiments"
 	"cosched/internal/plot"
+	"cosched/internal/profiling"
 	"cosched/internal/scenario"
 	"cosched/internal/stats"
 )
@@ -33,8 +34,17 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress ASCII charts")
 		precision = flag.Float64("precision", 0, "adaptive replicates: target relative CI half-width per cell (0 = fixed -reps)")
 		maxReps   = flag.Int("max-reps", 200, "with -precision: replicate cap per grid point")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start("experiments", *cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProfiles()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatalf("%v", err)

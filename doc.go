@@ -29,7 +29,7 @@
 //   - internal/experiments — reproduction of Figures 5–14, expressed as
 //     scenario specs executed by the campaign runner
 //   - cmd/...              — coschedsim, campaign, experiments,
-//     faultgen, npcheck, report
+//     faultgen, npcheck, report, bench (perf ledger)
 //   - examples/...         — runnable walkthroughs
 //
 // See README.md for a tour, DESIGN.md for the architecture and the

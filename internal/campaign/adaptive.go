@@ -136,6 +136,11 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 		workers = 1
 	}
 
+	// Per-point shared compiled models, built at point-scheduling time
+	// and handed to the workers read-only (nil for points that must
+	// compile per unit).
+	shared := sharedPointModels(sp, points, policies)
+
 	jobs := make(chan unitJob)
 	results := make(chan unitResult, workers)
 	var wg sync.WaitGroup
@@ -145,7 +150,7 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 			defer wg.Done()
 			ws := newWorkerState()
 			for job := range jobs {
-				makespans, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep)
+				makespans, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point])
 				r := unitResult{point: job.point, rep: job.rep, err: err}
 				if err == nil {
 					// runUnit reuses its buffer; the result outlives it.

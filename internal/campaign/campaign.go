@@ -25,6 +25,7 @@ import (
 
 	"cosched/internal/core"
 	"cosched/internal/failure"
+	"cosched/internal/model"
 	"cosched/internal/rng"
 	"cosched/internal/scenario"
 	"cosched/internal/stats"
@@ -134,6 +135,10 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		workers = total
 	}
 
+	// Per-point shared models are built here, at point-scheduling time:
+	// workers receive them read-only and never compile for these points.
+	shared := sharedPointModels(sp, points, policies)
+
 	units := make(chan int)
 	errs := make(chan error, workers)
 	var mu sync.Mutex // guards done, manifest appends, Progress calls
@@ -148,7 +153,7 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 			ws := newWorkerState()
 			for unit := range units {
 				pi, rep := unit/sp.Replicates, unit%sp.Replicates
-				makespans, err := ws.runUnit(sp, points[pi], policies, semantics, rep)
+				makespans, err := ws.runUnit(sp, points[pi], policies, semantics, rep, shared[pi])
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, points[pi].X, rep, err):
@@ -193,14 +198,21 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 
 // workerState is the per-goroutine arena of the campaign: a reusable
 // simulator, a reusable renewal fault generator, reseedable RNG streams,
-// and the per-unit makespan buffer. Nothing here is shared between
-// workers, and everything is reset in place between units.
+// compiled-model arenas, and the per-unit makespan buffer. Nothing here
+// is shared between workers, and everything is reset in place between
+// units.
 type workerState struct {
 	simulator *core.Simulator
 	renewal   failure.Renewal
 	taskRNG   *rng.Source
 	faultRNG  *rng.Source
 	out       []float64
+	// comp/compFF are the per-unit compiled instance models (failure
+	// parameters on / off), rebuilt in place once per unit and shared by
+	// every policy of the unit. When the grid point carries a shared
+	// pointModel these arenas stay untouched.
+	comp   model.Compiled
+	compFF model.Compiled
 }
 
 func newWorkerState() *workerState {
@@ -211,30 +223,111 @@ func newWorkerState() *workerState {
 	}
 }
 
+// pointModel is the read-only state one grid point shares across the
+// whole worker pool: the task draw and the compiled per-(task,
+// allocation) resilience tables, built once at point-scheduling time.
+// Sharing is only sound when every replicate of the point draws an
+// identical pack — the homogeneous-workload case (MInf == MSup), where
+// Generate pins every problem size to MInf — so heterogeneous points
+// carry a nil pointModel and compile per unit instead. Shared models
+// live for the whole campaign (O(points) memory, ~n·P/2 entries each);
+// see DESIGN.md §9.4 for the tradeoff.
+type pointModel struct {
+	tasks  []model.Task
+	comp   *model.Compiled // failure-enabled tables (nil when no policy uses them)
+	compFF *model.Compiled // fault-free tables (nil when no policy is fault-free)
+}
+
+// disableSharedPointModels forces the per-unit compile path; tests use it
+// to pin the shared path bit-identical to the unshared one.
+var disableSharedPointModels = false
+
+// sharedPointModels builds the per-grid-point shared models for every
+// point whose replicates provably draw the same pack. Entries are nil for
+// points that must compile per unit; the slice itself is the scheduler's
+// hand-off to the workers and is never mutated after this returns.
+func sharedPointModels(sp scenario.Spec, points []scenario.RunPoint, policies []scenario.PolicySpec) []*pointModel {
+	if disableSharedPointModels {
+		return make([]*pointModel, len(points))
+	}
+	anyFF, anyFault := false, false
+	for _, pol := range policies {
+		if pol.FaultFree {
+			anyFF = true
+		} else {
+			anyFault = true
+		}
+	}
+	shared := make([]*pointModel, len(points))
+	src := rng.New(0)
+	for pi, pt := range points {
+		if pt.Spec.MInf != pt.Spec.MSup {
+			continue // heterogeneous draw: packs differ per replicate
+		}
+		genSpec := pt.Spec
+		if faultFreeOnly(policies) {
+			genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
+		}
+		// The draw is the same for every replicate of a homogeneous
+		// point; replicate 0's stream makes that explicit.
+		src.Reseed(rng.SubSeed(sp.Seed, streamTasks, uint64(pt.Index), 0))
+		tasks, err := genSpec.Generate(src)
+		if err != nil {
+			continue // the per-unit path will surface the error
+		}
+		pm := &pointModel{tasks: tasks}
+		if anyFault {
+			pm.comp, err = model.Compile(tasks, pt.Spec.Resilience(), model.CostModel{}, pt.Spec.P)
+			if err != nil {
+				continue
+			}
+		}
+		if anyFF {
+			ffSpec := pt.Spec
+			ffSpec.MTBFYears, ffSpec.SilentMTBFYears = 0, 0
+			pm.compFF, err = model.Compile(tasks, ffSpec.Resilience(), model.CostModel{}, ffSpec.P)
+			if err != nil {
+				continue
+			}
+		}
+		shared[pi] = pm
+	}
+	return shared
+}
+
 // runUnit executes every policy of one (point, replicate) cell on the
 // worker's persistent arena. The unit derives its streams purely from
 // (seed, point index, replicate), so any shard computes identical
 // numbers, and all policies share the task draw and the fault-stream
-// seed (common random numbers). The returned slice is reused by the
-// next unit of this worker; Run copies what it keeps.
-func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int) ([]float64, error) {
-	taskSeed := rng.SubSeed(sp.Seed, streamTasks, uint64(pt.Index), uint64(rep))
+// seed (common random numbers). The compiled instance model is built
+// once per unit — or taken from the point's shared pointModel — and
+// reused by every policy. The returned slice is reused by the next unit
+// of this worker; Run copies what it keeps.
+func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int, shared *pointModel) ([]float64, error) {
 	faultSeed := rng.SubSeed(sp.Seed, streamFaults, uint64(pt.Index), uint64(rep))
-	genSpec := pt.Spec
-	if faultFreeOnly(policies) {
-		// Mirror scenario.Validate: a fault-free-only scenario never uses
-		// the failure fields, so generation must not reject them either.
-		genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
-	}
-	ws.taskRNG.Reseed(taskSeed)
-	tasks, err := genSpec.Generate(ws.taskRNG)
-	if err != nil {
-		return nil, err
+	var tasks []model.Task
+	if shared != nil {
+		tasks = shared.tasks
+	} else {
+		taskSeed := rng.SubSeed(sp.Seed, streamTasks, uint64(pt.Index), uint64(rep))
+		genSpec := pt.Spec
+		if faultFreeOnly(policies) {
+			// Mirror scenario.Validate: a fault-free-only scenario never uses
+			// the failure fields, so generation must not reject them either.
+			genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
+		}
+		ws.taskRNG.Reseed(taskSeed)
+		var err error
+		tasks, err = genSpec.Generate(ws.taskRNG)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cap(ws.out) < len(policies) {
 		ws.out = make([]float64, len(policies))
 	}
 	out := ws.out[:len(policies)]
+	var cm, cmFF *model.Compiled // the unit's compiled models, resolved lazily
 	for qi, pol := range policies {
 		runSpec := pt.Spec
 		var src failure.Source
@@ -255,6 +348,31 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 			src = &ws.renewal
 		}
 		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience()}
+		if pol.FaultFree {
+			if cmFF == nil {
+				if shared != nil {
+					cmFF = shared.compFF
+				} else {
+					if err := ws.compFF.Recompile(in.Tasks, in.Res, in.RC, in.P); err != nil {
+						return nil, err
+					}
+					cmFF = &ws.compFF
+				}
+			}
+			in.Compiled = cmFF
+		} else {
+			if cm == nil {
+				if shared != nil {
+					cm = shared.comp
+				} else {
+					if err := ws.comp.Recompile(in.Tasks, in.Res, in.RC, in.P); err != nil {
+						return nil, err
+					}
+					cm = &ws.comp
+				}
+			}
+			in.Compiled = cm
+		}
 		if err := ws.simulator.Reset(in, pol.Policy, src, core.Options{Semantics: semantics}); err != nil {
 			return nil, err
 		}

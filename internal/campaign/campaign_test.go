@@ -244,3 +244,76 @@ func TestRunRejectsInvalidSpec(t *testing.T) {
 		t.Fatal("invalid spec accepted")
 	}
 }
+
+// TestSharedPointModelEquivalence pins the per-grid-point compiled-model
+// sharing: a homogeneous workload (MInf == MSup, where every replicate
+// provably draws the same pack) must produce byte-identical JSONL with
+// sharing active and with the per-unit compile path forced — in both the
+// fixed and the adaptive runner, at several worker counts.
+func TestSharedPointModelEquivalence(t *testing.T) {
+	sp := testSpec()
+	sp.Workload.MInf = sp.Workload.MSup // homogeneous: sharing eligible
+
+	run := func(disable bool, workers int, adaptive bool) string {
+		s := sp
+		if adaptive {
+			s.Replicates = 0
+			s.Precision = &scenario.PrecisionSpec{
+				RelHalfWidth:  0.05,
+				MinReplicates: 2,
+				MaxReplicates: 6,
+				Batch:         2,
+			}
+		}
+		defer func() { disableSharedPointModels = false }()
+		disableSharedPointModels = disable
+		res, err := Run(s, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jsonl(t, res)
+	}
+
+	for _, adaptive := range []bool{false, true} {
+		want := run(true, 1, adaptive) // per-unit compiles, single worker
+		for _, workers := range []int{1, 4} {
+			if got := run(false, workers, adaptive); got != want {
+				t.Fatalf("adaptive=%v workers=%d: shared point models change results", adaptive, workers)
+			}
+		}
+	}
+}
+
+// TestHeterogeneousPointsNotShared pins the sharing guard: heterogeneous
+// points draw a fresh pack per replicate, so they must not receive a
+// shared model (stale tables would silently change every replicate
+// after the first).
+func TestHeterogeneousPointsNotShared(t *testing.T) {
+	sp := testSpec()
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies, err := sp.PolicySpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, pm := range sharedPointModels(sp, points, policies) {
+		if pm != nil {
+			t.Fatalf("heterogeneous point %d received a shared model", pi)
+		}
+	}
+	sp.Workload.MInf = sp.Workload.MSup
+	points, err = sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, pm := range sharedPointModels(sp, points, policies) {
+		if pm == nil {
+			t.Fatalf("homogeneous point %d missing its shared model", pi)
+		}
+		if pm.comp == nil || pm.compFF == nil {
+			t.Fatalf("point %d: missing compiled variant (comp=%v compFF=%v)", pi, pm.comp != nil, pm.compFF != nil)
+		}
+	}
+}

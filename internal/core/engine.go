@@ -63,6 +63,43 @@ type Simulator struct {
 	heap     taskHeap      // shared by Algorithm 1 and the heuristics
 	d        Decision      // policy scratch (index-addressed slices)
 	tuEval   model.MinEval // spare evaluator for one-shot tU queries
+
+	// Compiled instance model: every steady-state model query goes
+	// through cm. It points either at the caller's shared tables
+	// (Instance.Compiled) or at the simulator's own arena ownComp, which
+	// is recompiled only when the instance actually changed (bindCompiled).
+	cm      *model.Compiled
+	ownComp model.Compiled
+	ownOK   bool // ownComp holds tables for the instance it claims
+}
+
+// bindCompiled points e.cm at valid tables for in: the caller's shared
+// model when Instance.Compiled is set (after verifying it was built for
+// exactly this instance), the simulator's own tables when they still
+// match — the replicate-loop fast path: Reset with an unchanged instance
+// never recompiles — or a fresh in-place compile otherwise. Instance
+// identity is the Tasks slice header plus Res/RC/P by value; callers
+// that mutate task contents in place must pass a different slice (the
+// same aliasing contract as Result, DESIGN.md §9).
+func (e *Simulator) bindCompiled(in Instance) error {
+	if in.Compiled != nil {
+		if !in.Compiled.Matches(in.Tasks, in.Res, in.RC, in.P) {
+			return fmt.Errorf("core: Instance.Compiled was built for a different instance")
+		}
+		e.cm = in.Compiled
+		return nil
+	}
+	if e.ownOK && e.ownComp.Matches(in.Tasks, in.Res, in.RC, in.P) {
+		e.cm = &e.ownComp
+		return nil
+	}
+	e.ownOK = false
+	if err := e.ownComp.Recompile(in.Tasks, in.Res, in.RC, in.P); err != nil {
+		return err
+	}
+	e.ownOK = true
+	e.cm = &e.ownComp
+	return nil
 }
 
 // NewSimulator returns an empty simulator; Reset sizes it to an instance.
@@ -113,6 +150,9 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 	}
 	e.src = src
 	e.resize(n)
+	if err := e.bindCompiled(in); err != nil {
+		return err
+	}
 	if e.plat == nil {
 		e.plat, err = platform.New(in.P)
 	} else {
@@ -189,13 +229,22 @@ func (e *Simulator) resize(n int) {
 
 // initialSchedule is Algorithm 1 evaluated into the simulator's arenas
 // (same algorithm as the exported InitialSchedule, without its per-call
-// allocations). The result lands in e.sigma0.
+// allocations). The result lands in e.sigma0. With no compiled model
+// bound (e.cm nil — the one-shot InitialSchedule wrapper) the
+// evaluators take the direct path: Algorithm 1 alone queries only
+// ~n + P/2 entries via the ascending prefix-min scans, so building the
+// full n·P/2 table would cost more than it saves (the packs DP calls
+// the wrapper once per candidate subset).
 func (e *Simulator) initialSchedule() error {
 	n := len(e.in.Tasks)
 	e.elig = e.elig[:0]
 	for i := range e.in.Tasks {
 		e.sigma0[i] = 2
-		e.d.evals[i].Reset(e.in.Res, e.in.Tasks[i], 1)
+		if e.cm != nil {
+			e.d.evals[i].ResetCompiled(e.cm, i, 1)
+		} else {
+			e.d.evals[i].Reset(e.in.Res, e.in.Tasks[i], 1)
+		}
 		e.d.tUc[i] = e.d.evals[i].At(2)
 		e.elig = append(e.elig, i)
 	}
@@ -306,7 +355,7 @@ func (e *Simulator) scheduleEnd(i int) {
 	s := &e.st[i]
 	switch e.opt.Semantics {
 	case SemanticsDeterministic:
-		s.end = s.tlastR + e.in.Res.FFTime(e.in.Tasks[i], s.sigma, s.alpha)
+		s.end = s.tlastR + e.cm.FFTime(i, s.sigma, s.alpha)
 	default:
 		s.end = s.tU
 	}
@@ -323,9 +372,8 @@ func (e *Simulator) finalize(i int, t float64) {
 	if e.acct != nil {
 		// Close the final segment: the remaining fraction completes,
 		// with its fault-free checkpoint count.
-		task := e.in.Tasks[i]
-		n := e.in.Res.FFCheckpoints(task, s.sigma, s.alpha)
-		e.acct.segmentClose(t-s.tlastR, n, e.in.Res.CkptCost(task, s.sigma), s.alpha*task.Time(s.sigma))
+		n := e.cm.FFCheckpoints(i, s.sigma, s.alpha)
+		e.acct.segmentClose(t-s.tlastR, n, e.cm.CkptCost(i, s.sigma), s.alpha*e.cm.Time(i, s.sigma))
 		e.acct.allocChange(i, t, 0)
 		e.acct.taskFinished(t)
 	}
@@ -366,18 +414,17 @@ func (e *Simulator) eligible(t float64) []int {
 // work, in which case the task is treated as (almost) finished.
 func (e *Simulator) alphaT(i int, t float64) float64 {
 	s := &e.st[i]
-	task := e.in.Tasks[i]
 	j := s.sigma
 	elapsed := t - s.tlastR
 	if elapsed <= 0 {
 		return s.alpha
 	}
-	tau := e.in.Res.Period(task, j)
+	tau := e.cm.Period(i, j)
 	var nCkpt float64
 	if !math.IsInf(tau, 1) {
 		nCkpt = math.Floor(elapsed / tau)
 	}
-	executed := (elapsed - nCkpt*e.in.Res.CkptCost(task, j)) / task.Time(j)
+	executed := (elapsed - nCkpt*e.cm.CkptCost(i, j)) / e.cm.Time(i, j)
 	a := s.alpha - executed
 	if a < 0 {
 		return 0
@@ -430,7 +477,6 @@ func (e *Simulator) processFault(f failure.Fault) {
 	e.ctr.Failures++
 	e.emit(TraceEvent{Time: f.Time, Kind: "failure", Task: owner, Proc: f.Proc})
 	t := f.Time
-	task := e.in.Tasks[owner]
 	j := s.sigma
 
 	// The tasks available for redistribution are determined before the
@@ -438,27 +484,27 @@ func (e *Simulator) processFault(f failure.Fault) {
 	elig := e.eligible(t)
 
 	// Roll back to the last checkpoint: only whole periods survive.
-	tau := e.in.Res.Period(task, j)
-	ck := e.in.Res.CkptCost(task, j)
+	tau := e.cm.Period(owner, j)
+	ck := e.cm.CkptCost(owner, j)
 	var n float64
 	if !math.IsInf(tau, 1) {
 		n = math.Floor((t - s.tlastR) / tau)
 	}
 	if e.acct != nil {
 		committed := n * (tau - ck)
-		if cap := s.alpha * task.Time(j); committed > cap {
+		if cap := s.alpha * e.cm.Time(owner, j); committed > cap {
 			committed = cap
 		}
 		lost := (t - s.tlastR) - n*tau
 		e.acct.segmentClose(t-s.tlastR, int(n), ck, committed)
-		e.acct.failure(lost, e.in.Res.Downtime+e.in.Res.Recovery(task, j))
+		e.acct.failure(lost, e.in.Res.Downtime+e.cm.Recovery(owner, j))
 	}
-	s.alpha -= n * (tau - ck) / task.Time(j)
+	s.alpha -= n * (tau - ck) / e.cm.Time(owner, j)
 	if s.alpha < 0 {
 		s.alpha = 0
 	}
-	s.tlastR = t + e.in.Res.Downtime + e.in.Res.Recovery(task, j)
-	e.tuEval.Reset(e.in.Res, task, s.alpha)
+	s.tlastR = t + e.in.Res.Downtime + e.cm.Recovery(owner, j)
+	e.tuEval.ResetCompiled(e.cm, owner, s.alpha)
 	s.tU = s.tlastR + e.tuEval.At(j)
 	e.scheduleEnd(owner)
 
@@ -553,7 +599,6 @@ func (e *Simulator) allocStdDev() float64 {
 // downtime and recovery on the old allocation are paid first.
 func (e *Simulator) commitRedist(i int, t float64, newSigma int, alphaT float64, eval *model.MinEval, faulty bool) error {
 	s := &e.st[i]
-	task := e.in.Tasks[i]
 	oldSigma := s.sigma
 	if newSigma == oldSigma {
 		return nil
@@ -561,36 +606,36 @@ func (e *Simulator) commitRedist(i int, t float64, newSigma int, alphaT float64,
 	if _, _, err := e.plat.Resize(i, newSigma); err != nil {
 		return fmt.Errorf("core: redistributing task %d: %w", i, err)
 	}
-	rc := e.in.RC.Cost(task.Data, oldSigma, newSigma)
+	rc := e.cm.RedistCost(i, oldSigma, newSigma)
 	extra := 0.0
 	if faulty {
-		extra = e.in.Res.Downtime + e.in.Res.Recovery(task, oldSigma)
+		extra = e.in.Res.Downtime + e.cm.Recovery(i, oldSigma)
 	}
 	if e.acct != nil {
 		if !faulty {
 			// Close the frozen segment of a non-faulty redistributed
 			// task; the faulty task's segment was closed by processFault.
 			elapsed := t - s.tlastR
-			tau := e.in.Res.Period(task, oldSigma)
+			tau := e.cm.Period(i, oldSigma)
 			var n float64
 			if !math.IsInf(tau, 1) && elapsed > 0 {
 				n = math.Floor(elapsed / tau)
 			}
-			work := elapsed - n*e.in.Res.CkptCost(task, oldSigma)
+			work := elapsed - n*e.cm.CkptCost(i, oldSigma)
 			if work < 0 {
 				work = 0
 			}
-			if cap := s.alpha * task.Time(oldSigma); work > cap {
+			if cap := s.alpha * e.cm.Time(i, oldSigma); work > cap {
 				work = cap
 			}
-			e.acct.segmentClose(elapsed, int(n), e.in.Res.CkptCost(task, oldSigma), work)
+			e.acct.segmentClose(elapsed, int(n), e.cm.CkptCost(i, oldSigma), work)
 		}
-		e.acct.redistribution(rc, e.in.Res.PostRedistCkpt(task, newSigma))
+		e.acct.redistribution(rc, e.cm.PostRedistCkpt(i, newSigma))
 		e.acct.allocChange(i, t, newSigma)
 	}
 	s.sigma = newSigma
 	s.alpha = alphaT
-	s.tlastR = t + extra + rc + e.in.Res.PostRedistCkpt(task, newSigma)
+	s.tlastR = t + extra + rc + e.cm.PostRedistCkpt(i, newSigma)
 	s.tU = s.tlastR + eval.At(newSigma)
 	e.scheduleEnd(i)
 	e.ctr.Redistributions++

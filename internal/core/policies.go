@@ -82,7 +82,7 @@ func (e *Simulator) beginDecision(t float64, elig []int, faulty int) {
 		} else {
 			d.alphaT[i] = e.alphaT(i, t)
 		}
-		d.evals[i].Reset(e.in.Res, e.in.Tasks[i], d.alphaT[i])
+		d.evals[i].ResetCompiled(e.cm, i, d.alphaT[i])
 	}
 }
 
@@ -125,8 +125,7 @@ func (d *Decision) extra(i int) float64 {
 	if i != d.faulty {
 		return 0
 	}
-	task := d.e.in.Tasks[i]
-	return d.e.in.Res.Downtime + d.e.in.Res.Recovery(task, d.sigmaInit[i])
+	return d.e.in.Res.Downtime + d.e.cm.Recovery(i, d.sigmaInit[i])
 }
 
 // Candidate returns the expected finish time of task i if it were
@@ -140,10 +139,9 @@ func (d *Decision) Candidate(i, cand int) float64 {
 	if cand == d.sigmaInit[i] {
 		return d.oldTU[i]
 	}
-	task := d.e.in.Tasks[i]
 	return d.t + d.extra(i) +
-		d.e.in.RC.Cost(task.Data, d.sigmaInit[i], cand) +
-		d.e.in.Res.PostRedistCkpt(task, cand) +
+		d.e.cm.RedistCost(i, d.sigmaInit[i], cand) +
+		d.e.cm.PostRedistCkpt(i, cand) +
 		d.evals[i].At(cand)
 }
 

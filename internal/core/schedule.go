@@ -20,6 +20,10 @@ func InitialSchedule(in Instance) ([]int, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	// No bindCompiled here, deliberately: a one-shot schedule query (the
+	// packs DP calls this once per candidate subset) touches far fewer
+	// (task, j) pairs than a full table build, so initialSchedule runs
+	// its evaluators on the direct path (e.cm stays nil).
 	s := NewSimulator()
 	s.in = in
 	s.resize(len(in.Tasks))

@@ -10,6 +10,7 @@ import (
 
 	"cosched/internal/core"
 	"cosched/internal/failure"
+	"cosched/internal/model"
 	"cosched/internal/rng"
 	"cosched/internal/workload"
 )
@@ -192,5 +193,103 @@ func TestRunResultIsolated(t *testing.T) {
 	}
 	if after := fmt.Sprintf("%v", r1.Finish); after != before {
 		t.Fatalf("core.Run results alias each other: %s != %s", after, before)
+	}
+}
+
+// TestInstanceCompiledSharing pins the Instance.Compiled contract: a
+// shared prebuilt model must produce results bit-identical to the
+// simulator's own compile, and a model built for a different instance
+// must be rejected by Reset.
+func TestInstanceCompiledSharing(t *testing.T) {
+	c := reuseSchedule()[0]
+	in, spec := cellInstance(t, c)
+
+	own, err := core.Run(in, c.policy, cellSource(t, spec, 99), core.Options{Semantics: c.semantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cm, err := model.Compile(in.Tasks, in.Res, in.RC, in.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := in
+	shared.Compiled = cm
+	got, err := core.Run(shared, c.policy, cellSource(t, spec, 99), core.Options{Semantics: c.semantics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != own.Makespan {
+		t.Fatalf("shared compiled model changes the makespan: %v vs %v", got.Makespan, own.Makespan)
+	}
+	for i := range got.Finish {
+		if got.Finish[i] != own.Finish[i] || got.Sigma[i] != own.Sigma[i] {
+			t.Fatalf("shared compiled model changes task %d outcome", i)
+		}
+	}
+
+	// A model built for different parameters must be rejected.
+	wrongRes := in.Res
+	wrongRes.Downtime++
+	wrong, err := model.Compile(in.Tasks, wrongRes, in.RC, in.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := in
+	bad.Compiled = wrong
+	s := core.NewSimulator()
+	if err := s.Reset(bad, c.policy, cellSource(t, spec, 99), core.Options{}); err == nil {
+		t.Fatal("Reset accepted a compiled model built for a different instance")
+	}
+
+	// A model built over a copied task slice must be rejected too: the
+	// identity contract is the slice header, not content equality.
+	copied, err := model.Compile(append([]model.Task(nil), in.Tasks...), in.Res, in.RC, in.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = in
+	bad.Compiled = copied
+	if err := s.Reset(bad, c.policy, cellSource(t, spec, 99), core.Options{}); err == nil {
+		t.Fatal("Reset accepted a compiled model over a different task slice")
+	}
+}
+
+// TestSimulatorKeepsTablesAcrossReplicates pins the replicate-loop fast
+// path: Resets with an unchanged instance must reuse the compiled tables
+// (no rebuild), and a changed instance must rebuild them — observable
+// through results matching fresh-simulator runs in both cases.
+func TestSimulatorKeepsTablesAcrossReplicates(t *testing.T) {
+	a := reuseSchedule()[0]
+	b := reuseSchedule()[2]
+	inA, specA := cellInstance(t, a)
+	inB, specB := cellInstance(t, b)
+
+	reused := core.NewSimulator()
+	seq := []struct {
+		in   core.Instance
+		spec workload.Spec
+		pol  core.Policy
+	}{
+		{inA, specA, a.policy},
+		{inA, specA, core.STFEndLocal}, // same instance, new policy: tables reusable
+		{inB, specB, b.policy},         // instance changed: recompile
+		{inA, specA, a.policy},         // back again: recompile (identity, not cache)
+	}
+	for step, s := range seq {
+		if err := reused.Reset(s.in, s.pol, cellSource(t, s.spec, 123+uint64(step)), core.Options{Paranoia: true}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := reused.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Run(s.in, s.pol, cellSource(t, s.spec, 123+uint64(step)), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Makespan != want.Makespan {
+			t.Fatalf("step %d: reused tables diverge: %v vs %v", step, got.Makespan, want.Makespan)
+		}
 	}
 }

@@ -207,6 +207,13 @@ type Instance struct {
 	// RC parameterizes the redistribution cost; the zero value is the
 	// paper's Eq. (9) (zero latency, unit bandwidth).
 	RC model.CostModel
+	// Compiled optionally supplies prebuilt per-(task, allocation)
+	// resilience tables for exactly this instance (model.Compile over the
+	// same Tasks slice, Res, RC and P). When nil the Simulator compiles —
+	// and, across Resets with an unchanged instance, reuses — its own
+	// tables; a non-nil handle lets many simulators share one read-only
+	// model (the campaign runner's per-grid-point sharing, DESIGN.md §9).
+	Compiled *model.Compiled
 }
 
 // Validate checks that the instance is schedulable.

@@ -8,7 +8,6 @@
 package failure
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -101,23 +100,48 @@ type procEntry struct {
 	proc int
 }
 
+// procHeap is a hand-rolled min-heap of pending per-processor failures
+// (earliest time first, ties on the smaller processor index). It is an
+// index heap rather than a container/heap implementation so the
+// steady-state fault loop pays plain slice operations — no interface
+// dispatch, no boxing of procEntry values. The sift order reproduces
+// container/heap's Init/Fix exactly, so fault streams are bit-identical
+// to the previous implementation (the core golden tests replay them).
 type procHeap []procEntry
 
-func (h procHeap) Len() int { return len(h) }
-func (h procHeap) Less(i, j int) bool {
+// less orders heap positions i, j.
+func (h procHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].proc < h[j].proc
 }
-func (h procHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *procHeap) Push(x interface{}) { *h = append(*h, x.(procEntry)) }
-func (h *procHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// down sifts position i toward the leaves, exactly as container/heap.
+func (h procHeap) down(i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// init heapifies the whole slice (container/heap.Init's visit order).
+func (h procHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // Renewal generates faults as p independent per-processor renewal
@@ -160,17 +184,15 @@ func (r *Renewal) Reset(p int, law Law, src *rng.Source) error {
 	for q := 0; q < p; q++ {
 		r.h = append(r.h, procEntry{t: law.Gap(src), proc: q})
 	}
-	heap.Init(&r.h)
+	r.h.init()
 	return nil
 }
 
 // Next implements Source; the stream is endless.
 func (r *Renewal) Next() (Fault, bool) {
 	e := r.h[0]
-	next := e
-	next.t += r.law.Gap(r.rng)
-	r.h[0] = next
-	heap.Fix(&r.h, 0)
+	r.h[0].t = e.t + r.law.Gap(r.rng)
+	r.h.down(0)
 	return Fault{Time: e.t, Proc: e.proc}, true
 }
 

@@ -1,0 +1,296 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// segKind selects how a compiled task's silent-error segment inflation is
+// evaluated, mirroring the branches of Resilience.silentSegment.
+type segKind uint8
+
+const (
+	segPlain  segKind = iota // no silent errors, no verification: segment = w
+	segVerify                // verification only: segment = w + V_{i,j}
+	segSilent                // silent errors: segment = e^{λ_s j w}·(w + V_{i,j})
+)
+
+// compiledEntry caches every α-independent sub-expression of Eq. (2)–(4)
+// for one (task, even processor count) pair. All fields are derived from
+// the same Resilience primitives the direct path calls, so a compiled
+// query combines exactly the same float64 values in exactly the same
+// order as Resilience.ExpectedTimeRaw — the results are bit-identical,
+// not merely close (see DESIGN.md §9).
+type compiledEntry struct {
+	tj     float64 // t_{i,j}, fault-free execution time
+	ck     float64 // C_{i,j}, checkpoint cost
+	rec    float64 // R_{i,j}, recovery cost (the paper: R = C)
+	tau    float64 // τ_{i,j}, checkpointing period (+Inf fault-free)
+	work   float64 // τ_{i,j} − C_{i,j}, work per period (+Inf fault-free)
+	lj     float64 // λ·j, task failure rate
+	prefac float64 // e^{λj·R}·(1/λj + D), the Eq. (4) prefactor
+	expPer float64 // Expm1(λj·(silentSegment(τ−C) + C)), the period term
+	slj    float64 // λ_s·j, silent-error rate
+	v      float64 // V_{i,j} = V_i/j, verification cost
+}
+
+// Compiled is the compiled instance model: flat per-(task, allocation)
+// tables of every α-independent quantity the simulator queries in its
+// steady state. One Compiled serves one (Tasks, Resilience, CostModel, P)
+// instance; it is immutable after Compile/Recompile and therefore safe to
+// share read-only across goroutines (the campaign runner builds one per
+// grid point and hands it to every worker).
+//
+// RawAt(i, j, α) collapses Resilience.ExpectedTimeRaw to table lookups
+// plus the single α-dependent Expm1(λj·τ_last) term — same combination
+// order, bit-identical results (pinned by TestCompiledMatchesDirect and
+// the core golden-equivalence tests).
+type Compiled struct {
+	tasks  []Task
+	res    Resilience
+	rc     CostModel
+	p      int
+	maxJ   int // largest even allocation covered by the tables
+	stride int // maxJ/2 entries per task
+	tab    []compiledEntry
+	seg    []segKind // per-task silent-segment mode
+	data   []float64 // per-task data volume m_i (redistribution cost)
+}
+
+// Compile builds the tables for one instance. p is the platform size: the
+// tables cover every even allocation in [2, p].
+func Compile(tasks []Task, res Resilience, rc CostModel, p int) (*Compiled, error) {
+	c := &Compiled{}
+	if err := c.Recompile(tasks, res, rc, p); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Recompile rebuilds the tables in place for a new instance, reusing the
+// backing arrays when capacities allow. A campaign worker that compiles
+// per unit therefore stops allocating once its arenas match the grid's
+// largest (n, p).
+func (c *Compiled) Recompile(tasks []Task, res Resilience, rc CostModel, p int) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("model: compiling an empty pack")
+	}
+	if p < 2 {
+		return fmt.Errorf("model: compiling for platform size %d (want ≥ 2)", p)
+	}
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	for i, t := range tasks {
+		if t.Profile == nil {
+			return fmt.Errorf("model: task %d has no speedup profile", i)
+		}
+	}
+	n := len(tasks)
+	c.tasks = tasks
+	c.res = res
+	c.rc = rc
+	c.p = p
+	c.maxJ = p - p%2
+	c.stride = c.maxJ / 2
+	if cap(c.tab) < n*c.stride {
+		c.tab = make([]compiledEntry, n*c.stride)
+	}
+	c.tab = c.tab[:n*c.stride]
+	if cap(c.seg) < n {
+		c.seg = make([]segKind, n)
+	}
+	c.seg = c.seg[:n]
+	if cap(c.data) < n {
+		c.data = make([]float64, n)
+	}
+	c.data = c.data[:n]
+
+	for i, t := range tasks {
+		c.data[i] = t.Data
+		switch {
+		case res.SilentActive():
+			c.seg[i] = segSilent
+		case t.Verify != 0:
+			c.seg[i] = segVerify
+		default:
+			c.seg[i] = segPlain
+		}
+		row := c.tab[i*c.stride : (i+1)*c.stride]
+		for k := range row {
+			j := 2 * (k + 1)
+			en := &row[k]
+			en.tj = t.Time(j)
+			en.ck = res.CkptCost(t, j)
+			en.rec = res.Recovery(t, j)
+			en.tau = res.Period(t, j)
+			en.work = en.tau - en.ck
+			en.v = res.VerifyCost(t, j)
+			en.slj = res.SilentLambda * float64(j)
+			if res.Lambda == 0 {
+				// Fault-free limit: only tj matters (tau/work are +Inf,
+				// RawAt never reads the failure terms).
+				continue
+			}
+			en.lj = res.Rate(j)
+			// Same combination order as ExpectedTimeRaw: the prefactor is
+			// Exp(λjR)·(1/λj + D), and the period term is Expm1 of λj
+			// times the (possibly silent-inflated) period.
+			en.prefac = math.Exp(en.lj*en.rec) * (1/en.lj + res.Downtime)
+			en.expPer = math.Expm1(en.lj * (res.silentSegment(t, j, en.work) + en.ck))
+		}
+	}
+	return nil
+}
+
+// Matches reports whether the compiled tables were built for exactly this
+// instance. Task identity is the slice header (same backing array), not
+// deep content: callers that mutate task contents in place must recompile
+// explicitly. Parameters compare by value.
+func (c *Compiled) Matches(tasks []Task, res Resilience, rc CostModel, p int) bool {
+	return len(c.tab) > 0 &&
+		len(tasks) == len(c.tasks) &&
+		len(tasks) > 0 && &tasks[0] == &c.tasks[0] &&
+		res == c.res && rc == c.rc && p == c.p
+}
+
+// Tasks returns the task slice the tables were built for (read-only).
+func (c *Compiled) Tasks() []Task { return c.tasks }
+
+// Res returns the resilience parameters the tables were built for.
+func (c *Compiled) Res() Resilience { return c.res }
+
+// P returns the platform size the tables cover.
+func (c *Compiled) P() int { return c.p }
+
+// MaxJ returns the largest even allocation covered by the tables.
+func (c *Compiled) MaxJ() int { return c.maxJ }
+
+// entry returns the table slot of (task i, even allocation j); callers
+// guarantee 2 ≤ j ≤ maxJ and j even (the simulator's buddy invariant).
+func (c *Compiled) entry(i, j int) *compiledEntry {
+	return &c.tab[i*c.stride+j/2-1]
+}
+
+// covered reports whether allocation j is served by the tables; queries
+// outside (odd j, or beyond the platform) fall back to the direct path,
+// which computes the same values.
+func (c *Compiled) covered(j int) bool {
+	return j >= 2 && j <= c.maxJ && j%2 == 0
+}
+
+// RawAt returns t^R_{i,j}(α) of Eq. (4) — exactly
+// Resilience.ExpectedTimeRaw(task i, j, α), from the tables.
+func (c *Compiled) RawAt(i, j int, alpha float64) float64 {
+	if !c.covered(j) {
+		return c.res.ExpectedTimeRaw(c.tasks[i], j, alpha)
+	}
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	en := c.entry(i, j)
+	if c.res.Lambda == 0 {
+		return alpha * en.tj
+	}
+	n := float64(ffCount(alpha, en.tj, en.work))
+	tauLast := alpha*en.tj - n*en.work
+	// Inline of silentSegment(τ_last) over the precomputed V and λ_s·j;
+	// the branch structure matches silent.go exactly.
+	var last float64
+	switch {
+	case tauLast <= 0:
+		last = 0
+	case c.seg[i] == segPlain:
+		last = tauLast
+	case c.seg[i] == segVerify:
+		last = tauLast + en.v
+	default:
+		last = math.Exp(en.slj*tauLast) * (tauLast + en.v)
+	}
+	return en.prefac * (n*en.expPer + math.Expm1(en.lj*last))
+}
+
+// Time returns t_{i,j} (Task.Time of task i).
+func (c *Compiled) Time(i, j int) float64 {
+	if !c.covered(j) {
+		return c.tasks[i].Time(j)
+	}
+	return c.entry(i, j).tj
+}
+
+// Period returns τ_{i,j} (Resilience.Period).
+func (c *Compiled) Period(i, j int) float64 {
+	if !c.covered(j) {
+		return c.res.Period(c.tasks[i], j)
+	}
+	return c.entry(i, j).tau
+}
+
+// CkptCost returns C_{i,j} (Resilience.CkptCost).
+func (c *Compiled) CkptCost(i, j int) float64 {
+	if !c.covered(j) {
+		return c.res.CkptCost(c.tasks[i], j)
+	}
+	return c.entry(i, j).ck
+}
+
+// Recovery returns R_{i,j} (Resilience.Recovery).
+func (c *Compiled) Recovery(i, j int) float64 {
+	if !c.covered(j) {
+		return c.res.Recovery(c.tasks[i], j)
+	}
+	return c.entry(i, j).rec
+}
+
+// PostRedistCkpt returns the §3.3.2 post-redistribution checkpoint
+// surcharge (Resilience.PostRedistCkpt).
+func (c *Compiled) PostRedistCkpt(i, j int) float64 {
+	if c.res.Lambda == 0 {
+		return 0
+	}
+	return c.CkptCost(i, j)
+}
+
+// FFCheckpoints returns N^ff_{i,j}(α) (Resilience.FFCheckpoints).
+func (c *Compiled) FFCheckpoints(i, j int, alpha float64) int {
+	if !c.covered(j) {
+		return c.res.FFCheckpoints(c.tasks[i], j, alpha)
+	}
+	if alpha <= 0 || c.res.Lambda == 0 {
+		return 0
+	}
+	en := c.entry(i, j)
+	return ffCount(alpha, en.tj, en.work)
+}
+
+// FFTime returns the deterministic fault-free completion time including
+// checkpoints (Resilience.FFTime).
+func (c *Compiled) FFTime(i, j int, alpha float64) float64 {
+	if !c.covered(j) {
+		return c.res.FFTime(c.tasks[i], j, alpha)
+	}
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	en := c.entry(i, j)
+	if c.res.Lambda == 0 {
+		return alpha * en.tj
+	}
+	n := ffCount(alpha, en.tj, en.work)
+	return alpha*en.tj + float64(n)*en.ck
+}
+
+// RedistCost returns RC_i^{j→k} under the instance's cost model, with
+// the per-task data volume read from the tables. It delegates to
+// CostModel.Cost — the cost is a handful of flops with no transcendental
+// functions, so there is nothing worth caching beyond m_i, and a single
+// implementation keeps the compiled and direct paths from diverging.
+func (c *Compiled) RedistCost(i, j, k int) float64 {
+	return c.rc.Cost(c.data[i], j, k)
+}

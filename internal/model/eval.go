@@ -20,6 +20,8 @@ type MinEval struct {
 	r     Resilience
 	t     Task
 	alpha float64
+	c     *Compiled // when non-nil, raw queries read the compiled tables
+	ti    int       // task index within c
 	mins  []float64 // mins[k] = prefix-min of raw t^R at j = 2(k+1)
 }
 
@@ -38,6 +40,21 @@ func (e *MinEval) Reset(r Resilience, t Task, alpha float64) {
 	e.r = r
 	e.t = t
 	e.alpha = alpha
+	e.c = nil
+	e.mins = e.mins[:0]
+}
+
+// ResetCompiled rebinds the evaluator to task ti of a compiled instance
+// model: raw Eq. (4) queries become table lookups plus one Expm1 instead
+// of full recomputations, with bit-identical results (RawAt's contract).
+// Everything else — the prefix-min cache, the amortized-O(1) ascending
+// scan — behaves exactly as after Reset.
+func (e *MinEval) ResetCompiled(c *Compiled, ti int, alpha float64) {
+	e.r = c.res
+	e.t = c.tasks[ti]
+	e.alpha = alpha
+	e.c = c
+	e.ti = ti
 	e.mins = e.mins[:0]
 }
 
@@ -53,7 +70,12 @@ func (e *MinEval) At(j int) float64 {
 	k := j/2 - 1
 	for len(e.mins) <= k {
 		next := 2 * (len(e.mins) + 1)
-		raw := e.r.ExpectedTimeRaw(e.t, next, e.alpha)
+		var raw float64
+		if e.c != nil {
+			raw = e.c.RawAt(e.ti, next, e.alpha)
+		} else {
+			raw = e.r.ExpectedTimeRaw(e.t, next, e.alpha)
+		}
 		if n := len(e.mins); n > 0 && e.mins[n-1] < raw {
 			raw = e.mins[n-1]
 		}

@@ -480,9 +480,13 @@ func TestPeriodRuleString(t *testing.T) {
 	}
 }
 
+// BenchmarkExpectedTimeRaw measures the direct Eq. (4) evaluation the
+// pre-compiled simulator performed on every candidate query; compare
+// with BenchmarkCompiledAt (compiled_test.go) for the table-lookup cost.
 func BenchmarkExpectedTimeRaw(b *testing.B) {
 	r := defaultRes()
 	task := synthTask(2e6)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = r.ExpectedTimeRaw(task, 2+(i%128)*2, 0.8)
 	}

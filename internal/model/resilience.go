@@ -130,6 +130,15 @@ func (r Resilience) PostRedistCkpt(t Task, j int) float64 {
 	return r.CkptCost(t, j)
 }
 
+// ffCount is the checkpoint count of Eq. (2) for a fault-free time t_{i,j}
+// and a work segment τ_{i,j} − C_{i,j}. It is the shared kernel of
+// FFCheckpoints, TauLast, ExpectedTimeRaw and the compiled tables, so the
+// derived quantities agree bit-for-bit no matter which entry point
+// computed them.
+func ffCount(alpha, tj, work float64) int {
+	return int(math.Floor(alpha * tj / work))
+}
+
 // FFCheckpoints returns N^ff_{i,j}(α) (Eq. 2): the number of checkpoints
 // taken while executing a fraction α of the task fault-free.
 func (r Resilience) FFCheckpoints(t Task, j int, alpha float64) int {
@@ -139,9 +148,7 @@ func (r Resilience) FFCheckpoints(t Task, j int, alpha float64) int {
 	if r.Lambda == 0 {
 		return 0 // infinite period: no checkpoints
 	}
-	tau := r.Period(t, j)
-	c := r.CkptCost(t, j)
-	return int(math.Floor(alpha * t.Time(j) / (tau - c)))
+	return ffCount(alpha, t.Time(j), r.Period(t, j)-r.CkptCost(t, j))
 }
 
 // TauLast returns the final, possibly partial work segment τ_last (Eq. 3).
@@ -149,19 +156,24 @@ func (r Resilience) TauLast(t Task, j int, alpha float64) float64 {
 	if alpha <= 0 {
 		return 0
 	}
+	tj := t.Time(j)
 	if r.Lambda == 0 {
-		return alpha * t.Time(j)
+		return alpha * tj
 	}
-	tau := r.Period(t, j)
-	c := r.CkptCost(t, j)
-	n := float64(r.FFCheckpoints(t, j, alpha))
-	return alpha*t.Time(j) - n*(tau-c)
+	work := r.Period(t, j) - r.CkptCost(t, j)
+	n := float64(ffCount(alpha, tj, work))
+	return alpha*tj - n*work
 }
 
 // ExpectedTimeRaw returns t^R_{i,j}(α) of Eq. (4): the expected time to
 // complete a fraction α of the task on j processors under failures,
 // *without* the Eq. (6) monotonization. In the fault-free limit this is
 // simply α·t_{i,j}.
+//
+// The α-independent sub-expressions (t_{i,j}, τ−C, C, λj, the e^{λjR}
+// prefactor, the period term) are each computed exactly once and combined
+// in a fixed order; Compiled.RawAt caches them per (task, j) and must
+// reproduce this combination order bit-for-bit (see compiled.go).
 func (r Resilience) ExpectedTimeRaw(t Task, j int, alpha float64) float64 {
 	if alpha <= 0 {
 		return 0
@@ -169,19 +181,20 @@ func (r Resilience) ExpectedTimeRaw(t Task, j int, alpha float64) float64 {
 	if alpha > 1 {
 		alpha = 1
 	}
+	tj := t.Time(j)
 	if r.Lambda == 0 {
-		return alpha * t.Time(j)
+		return alpha * tj
 	}
 	lj := r.Rate(j)
-	tau := r.Period(t, j)
 	ck := r.CkptCost(t, j)
 	rec := r.Recovery(t, j)
-	n := float64(r.FFCheckpoints(t, j, alpha))
-	tauLast := r.TauLast(t, j, alpha)
+	work := r.Period(t, j) - ck
+	n := float64(ffCount(alpha, tj, work))
+	tauLast := alpha*tj - n*work
 	// Silent-error extension: each period's work segment (τ−C) inflates
 	// to its expected retried duration; with the extension disabled this
 	// leaves τ and τ_last untouched.
-	period := r.silentSegment(t, j, tau-ck) + ck
+	period := r.silentSegment(t, j, work) + ck
 	last := r.silentSegment(t, j, tauLast)
 	// e^{λjR} (1/(λj) + D) ( N·(e^{λjτ}−1) + (e^{λjτ_last}−1) ),
 	// computed with Expm1 for accuracy when λjτ is small.
@@ -200,7 +213,13 @@ func (r Resilience) FFTime(t Task, j int, alpha float64) float64 {
 	if alpha > 1 {
 		alpha = 1
 	}
-	return alpha*t.Time(j) + float64(r.FFCheckpoints(t, j, alpha))*r.CkptCost(t, j)
+	tj := t.Time(j)
+	if r.Lambda == 0 {
+		return alpha * tj
+	}
+	ck := r.CkptCost(t, j)
+	n := ffCount(alpha, tj, r.Period(t, j)-ck)
+	return alpha*tj + float64(n)*ck
 }
 
 // ExpectedTime returns the monotonized expected time of Eq. (6): the

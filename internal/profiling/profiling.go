@@ -1,0 +1,55 @@
+// Package profiling is the shared pprof plumbing of the CLIs: it arms
+// the optional -cpuprofile/-memprofile outputs so performance PRs are
+// driven by profiles instead of guesswork.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start arms the optional pprof outputs: the CPU profile runs until the
+// returned stop function is called, which also writes the heap profile
+// (after a GC, so it reflects live steady-state memory). Empty paths
+// disable the corresponding output; prefix labels the messages with the
+// calling command's name. Error exits that bypass the deferred stop
+// simply lose the profiles — they are a success-path diagnostic.
+func Start(prefix, cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	// All messages go to stderr: the CLIs reserve stdout for
+	// machine-readable output (-print-spec, -example, JSONL).
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "%s: wrote CPU profile %s\n", prefix, cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "%s: wrote heap profile %s\n", prefix, memPath)
+		}
+	}, nil
+}
