@@ -443,6 +443,51 @@ func BenchmarkRunSingle(b *testing.B) {
 	}
 }
 
+// BenchmarkRunOnline is the online steady state: the BenchmarkRunSingle
+// workload plus a Poisson stream of arriving jobs, driven through one
+// persistent Simulator. The arrival schedule is generated once; each
+// iteration replays it, so the loop measures the online kernel itself —
+// submit events, FIFO admission, compiled-table appends (and their
+// truncation at Reset) and the ArrivalSteal rebalance. Allocations are
+// reported: after warm-up the arenas (task slots, pending queue,
+// appended table rows) are all reused.
+func BenchmarkRunOnline(b *testing.B) {
+	spec := workload.Default()
+	spec.N = 10
+	spec.P = 100
+	spec.MTBFYears = 10
+	tasks, err := spec.Generate(rng.New(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrSpec := workload.ArrivalSpec{Process: workload.ArrivalPoisson, Count: 10, Rate: 2e-5}
+	arrivals, err := arrSpec.Generate(spec, rng.New(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience(), Arrivals: arrivals}
+	pol := core.IGEndGreedy
+	pol.OnArrival = core.ArrivalSteal
+	var law failure.Law = failure.Exponential{Lambda: spec.Lambda()}
+	simulator := core.NewSimulator()
+	var renewal failure.Renewal
+	src := rng.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reseed(uint64(i))
+		if err := renewal.Reset(in.P, law, src); err != nil {
+			b.Fatal(err)
+		}
+		if err := simulator.Reset(in, pol, &renewal, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := simulator.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRegistryDispatch measures the policy registry's name
 // resolution (PolicyByName over the full cross product, the -list-
 // policies / scenario-spec path). Heuristic dispatch itself is resolved

@@ -4,11 +4,18 @@
 // pasting ad-hoc console output. Each ledger entry maps a benchmark to
 // its reported metrics (ns/op, allocs/op, units/s, ...).
 //
+// With -baseline it also compares against a previous ledger: it prints
+// per-benchmark deltas for every shared metric and exits non-zero when
+// any throughput metric (units/s) regresses by more than -max-regress.
+// "-baseline auto" picks the highest-numbered BENCH_<n>.json in the
+// working directory, which is how the CI bench-smoke job guards the
+// perf trajectory.
+//
 // Examples:
 //
 //	go run ./cmd/bench                          # 1s per bench → BENCH.json
-//	go run ./cmd/bench -out BENCH_4.json        # this PR's ledger
-//	go run ./cmd/bench -benchtime 1x -out /tmp/smoke.json   # CI smoke
+//	go run ./cmd/bench -out BENCH_5.json        # this PR's ledger
+//	go run ./cmd/bench -benchtime 1x -out /tmp/smoke.json -baseline auto   # CI smoke + gate
 package main
 
 import (
@@ -18,15 +25,19 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // headline is the default benchmark set: the Monte-Carlo steady state
-// (RunSingle), the one-shot path (EngineSingleRun), the campaign runner
-// end to end (CampaignThroughput[Adaptive]), and the compiled-model
-// micro pair (ExpectedTimeRaw vs CompiledAt, plus the table build).
-const headline = "BenchmarkRunSingle$|BenchmarkEngineSingleRun$" +
+// (RunSingle, plus its online-arrivals variant), the one-shot path
+// (EngineSingleRun), the campaign runner end to end
+// (CampaignThroughput[Adaptive]), and the compiled-model micro pair
+// (ExpectedTimeRaw vs CompiledAt, plus the table build).
+const headline = "BenchmarkRunSingle$|BenchmarkRunOnline$|BenchmarkEngineSingleRun$" +
 	"|BenchmarkCampaignThroughput$|BenchmarkCampaignThroughputAdaptive$" +
 	"|BenchmarkExpectedTimeRaw$|BenchmarkCompiledAt$|BenchmarkCompile$"
 
@@ -45,6 +56,8 @@ func main() {
 		benchRE   = flag.String("bench", headline, "benchmark selection regex passed to go test")
 		out       = flag.String("out", "BENCH.json", "output JSON file")
 		count     = flag.Int("count", 1, "runs per benchmark (go test -count); metrics keep the last run")
+		baseline  = flag.String("baseline", "", "previous ledger to diff against (\"auto\" = highest BENCH_<n>.json here); exits non-zero on throughput regression")
+		maxReg    = flag.Float64("max-regress", 0.25, "with -baseline: tolerated fractional units/s regression before failing")
 	)
 	flag.Parse()
 
@@ -75,11 +88,128 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// The baseline is resolved and read before -out is written:
+	// "-baseline auto" with `-out BENCH_<n+1>.json` must diff against
+	// the previous ledger, not the file this run is about to create
+	// (and rewriting the baseline's own path must not self-compare).
+	var prev *ledger
+	var prevPath string
+	if *baseline != "" {
+		path, err := resolveBaseline(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		base, err := readLedger(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		prev, prevPath = &base, path
+	}
+
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("bench: wrote %s (%d benchmarks)\n", *out, len(led.Benchmarks))
+
+	if prev != nil {
+		if failed := diff(os.Stdout, *prev, led, prevPath, *maxReg); failed {
+			fatalf("throughput regressed more than %.0f%% vs %s", *maxReg*100, prevPath)
+		}
+	}
+}
+
+// resolveBaseline expands "auto" to the highest-numbered BENCH_<n>.json
+// in the working directory.
+func resolveBaseline(arg string) (string, error) {
+	if arg != "auto" {
+		return arg, nil
+	}
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	best, bestN := "", -1
+	for _, m := range matches {
+		sub := re.FindStringSubmatch(filepath.Base(m))
+		if sub == nil {
+			continue
+		}
+		n, err := strconv.Atoi(sub[1])
+		if err == nil && n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("bench: -baseline auto found no BENCH_<n>.json ledger")
+	}
+	return best, nil
+}
+
+func readLedger(path string) (ledger, error) {
+	var led ledger
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return led, fmt.Errorf("bench: reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &led); err != nil {
+		return led, fmt.Errorf("bench: parsing baseline %s: %w", path, err)
+	}
+	return led, nil
+}
+
+// diff prints per-benchmark deltas for every metric shared with the
+// baseline and reports whether any throughput (units/s) metric regressed
+// by more than maxReg. Only throughput gates (ns/op at one iteration is
+// warm-up noise), and only between comparable measurements: when the
+// baseline was recorded on a different CPU or at a different benchtime
+// — the CI case, where hosted runners diff against the committed
+// dev-box ledger — the deltas are advisory and never fail, since
+// absolute wall-clock throughput is only meaningful on the same
+// machine. The hard gate fires for like-for-like ledgers (local reruns
+// on the box that produced the baseline).
+func diff(w *os.File, prev, cur ledger, path string, maxReg float64) bool {
+	advisory := prev.CPU != cur.CPU || prev.BenchTime != cur.BenchTime
+	if advisory {
+		fmt.Fprintf(w, "bench: baseline %s was measured on %q at benchtime %s (now %q at %s): deltas are advisory, regression gate off\n",
+			path, prev.CPU, prev.BenchTime, cur.CPU, cur.BenchTime)
+	}
+	fmt.Fprintf(w, "bench: deltas vs %s (benchtime %s -> %s)\n", path, prev.BenchTime, cur.BenchTime)
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		old, ok := prev.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-36s (new, no baseline)\n", name)
+			continue
+		}
+		units := make([]string, 0, len(cur.Benchmarks[name]))
+		for unit := range cur.Benchmarks[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			was, ok := old[unit]
+			if !ok || was == 0 {
+				continue
+			}
+			now := cur.Benchmarks[name][unit]
+			delta := (now - was) / was
+			marker := ""
+			if unit == "units/s" && delta < -maxReg {
+				marker = "  << REGRESSION"
+				failed = !advisory
+			}
+			fmt.Fprintf(w, "  %-36s %-10s %14.4g -> %-14.4g (%+.1f%%)%s\n",
+				name, unit, was, now, delta*100, marker)
+		}
+	}
+	return failed
 }
 
 // parse extracts benchmark metric lines from go test -bench output.

@@ -15,6 +15,9 @@
 //	campaign -spec sweep.json -precision 0.02 -max-reps 500   # adaptive
 //	campaign -figure 8 -reps 5 -shrink 0.2  # a paper figure, campaign-style
 //	campaign -figure 8 -print-spec          # export that figure as JSON
+//	campaign -spec examples/online-poisson.json          # online regime
+//	campaign -figure online -shrink 0.1 -reps 3          # online demo study
+//	campaign -spec sweep.json -arrivals poisson -jobs 20 -load 8   # add arrivals to any spec
 package main
 
 import (
@@ -34,7 +37,7 @@ import (
 func main() {
 	var (
 		specPath  = flag.String("spec", "", "JSON scenario spec file")
-		figure    = flag.String("figure", "", "run a paper figure (5a 5b 6a 6b 7 8 10 11 12 13a 13b 13c 14) as a campaign instead of -spec")
+		figure    = flag.String("figure", "", "run a paper figure (5a 5b 6a 6b 7 8 10 11 12 13a 13b 13c 14) or the online demo study (online) as a campaign instead of -spec")
 		reps      = flag.Int("reps", 0, "override the spec's replicate count (with -figure: default 10)")
 		seed      = flag.Uint64("seed", 0, "override the spec's master seed (with -figure: default 1)")
 		shrink    = flag.Float64("shrink", 1, "with -figure: platform scale factor in (0,1]")
@@ -53,6 +56,11 @@ func main() {
 		minReps    = flag.Int("min-reps", 0, "adaptive mode: replicate floor per point (default two batches)")
 		maxReps    = flag.Int("max-reps", 0, "adaptive mode: replicate cap per point (default 1000 when -precision sets up a new block)")
 		batch      = flag.Int("batch", 0, "adaptive mode: scheduling batch size (default 8)")
+
+		arrivals    = flag.String("arrivals", "", "online mode: arrival process (poisson | batch | trace:FILE); creates or overrides the spec's arrivals block")
+		load        = flag.Float64("load", 0, "online mode: Poisson arrival rate in jobs per day (with -arrivals poisson)")
+		jobs        = flag.Int("jobs", 0, "online mode: number of arriving jobs (default 16 for a new block)")
+		arrivalRule = flag.String("arrival-rule", "", "online mode: arrival redistribution rule (none | greedy | steal | registered name)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
@@ -82,6 +90,9 @@ func main() {
 		fatalf("%v", err)
 	}
 	applyPrecision(&sp, *precision, *confidence, *minReps, *maxReps, *batch)
+	if err := applyArrivals(&sp, *arrivals, *load, *jobs, *arrivalRule); err != nil {
+		fatalf("%v", err)
+	}
 	if *printSpec {
 		if err := sp.Encode(os.Stdout); err != nil {
 			fatalf("%v", err)
@@ -92,6 +103,10 @@ func main() {
 	points, err := sp.Expand()
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if sp.Arrivals != nil {
+		fmt.Printf("campaign %q: online regime — %s arrivals (%d jobs), arrival rule %q\n",
+			sp.Name, sp.Arrivals.Process, sp.Arrivals.Count, sp.Arrivals.Rule)
 	}
 	if sp.Precision != nil {
 		fmt.Printf("campaign %q: %d grid points × adaptive replicates (target ±%g%% rel. CI, %d–%d per point, batches of %d), %d policies\n",
@@ -207,6 +222,61 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if res.Online() {
+		fmt.Println("online metrics (means over grid points × replicates):")
+		for qi, pol := range res.Policies {
+			var resp, str, wait, util float64
+			for pi := range res.Points {
+				r, _ := res.OnlineCell(pi, qi, campaign.MetricResponse)
+				s, _ := res.OnlineCell(pi, qi, campaign.MetricStretch)
+				w, _ := res.OnlineCell(pi, qi, campaign.MetricWait)
+				u, _ := res.OnlineCell(pi, qi, campaign.MetricUtilization)
+				resp += r.Mean
+				str += s.Mean
+				wait += w.Mean
+				util += u.Mean
+			}
+			np := float64(len(res.Points))
+			fmt.Printf("  %-24s response %12.0f s   stretch %6.2f   wait %10.0f s   utilization %5.1f%%\n",
+				pol.Label, resp/np, str/np, wait/np, 100*util/np)
+		}
+	}
+}
+
+// applyArrivals folds the online-mode flags into the spec: -arrivals
+// creates or retargets the arrivals block, and the companion flags
+// override individual fields of an existing one.
+func applyArrivals(sp *scenario.Spec, process string, load float64, jobs int, rule string) error {
+	if process == "" && sp.Arrivals == nil {
+		if load != 0 || jobs != 0 || rule != "" {
+			return fmt.Errorf("-load/-jobs/-arrival-rule need -arrivals or a spec with an arrivals block")
+		}
+		return nil
+	}
+	if sp.Arrivals == nil {
+		sp.Arrivals = &workload.ArrivalSpec{Count: 16}
+	}
+	if process != "" {
+		proc, trace, err := workload.ParseProcessArg(process)
+		if err != nil {
+			return fmt.Errorf("-arrivals: %w", err)
+		}
+		sp.Arrivals.Process = proc
+		if trace != "" {
+			sp.Arrivals.Trace = trace
+		}
+	}
+	if load > 0 {
+		sp.Arrivals.Rate = load / 86400 // jobs per day → jobs per second
+	}
+	if jobs > 0 {
+		sp.Arrivals.Count = jobs
+	}
+	if rule != "" {
+		sp.Arrivals.Rule = rule
+	}
+	sp.Arrivals.ApplyFlagDefaults()
+	return nil
 }
 
 // applyPrecision folds the adaptive-mode flags into the spec: -precision

@@ -1,10 +1,14 @@
 // Command coschedsim runs one simulated execution of a co-scheduled pack
 // under failures and prints the outcome: makespan, event counters and,
-// optionally, the full event timeline or a JSONL trace.
+// optionally, the full event timeline or a JSONL trace. With -arrivals
+// the run is online: jobs arrive over time on top of the base pack, and
+// per-job metrics (response, stretch, queue wait, utilization) are
+// reported.
 //
-// Example:
+// Examples:
 //
 //	coschedsim -n 100 -p 1000 -mtbf 100 -policy ig-el -seed 42 -verbose
+//	coschedsim -n 20 -p 200 -arrivals poisson -jobs 10 -load 8 -arrival-rule steal
 package main
 
 import (
@@ -39,6 +43,11 @@ func main() {
 		traceOut  = flag.String("trace", "", "write the JSONL event trace to this file")
 		breakdown = flag.Bool("breakdown", false, "print the waste-breakdown decomposition")
 		listPol   = flag.Bool("list-policies", false, "list accepted policy names and exit")
+
+		arrivals    = flag.String("arrivals", "", "online mode: arrival process (poisson | batch | trace:FILE)")
+		load        = flag.Float64("load", 8, "online mode: Poisson arrival rate in jobs per day")
+		jobs        = flag.Int("jobs", 10, "online mode: number of arriving jobs")
+		arrivalRule = flag.String("arrival-rule", "steal", "online mode: arrival redistribution rule (none | greedy | steal | registered name)")
 	)
 	flag.Parse()
 
@@ -97,6 +106,33 @@ func main() {
 	}
 	in := core.Instance{Tasks: tasks, P: spec.P, Res: spec.Resilience()}
 
+	if *arrivals != "" {
+		if *breakdown {
+			fatalf("-breakdown is not supported with -arrivals (the accounting decomposition is offline-only)")
+		}
+		as := workload.ArrivalSpec{Count: *jobs, Rate: *load / 86400, Rule: *arrivalRule}
+		proc, trace, err := workload.ParseProcessArg(*arrivals)
+		if err != nil {
+			fatalf("-arrivals: %v", err)
+		}
+		as.Process, as.Trace = proc, trace
+		as.ApplyFlagDefaults()
+		rule, err := scenario.ParseArrivalRule(*arrivalRule)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// An arrival rule named explicitly in -policy ("…+ArrivalGreedy")
+		// wins over the -arrival-rule flag's default, mirroring how
+		// scenario specs treat the arrivals block's rule.
+		if pol.OnArrival == core.ArrivalNone {
+			pol.OnArrival = rule
+		}
+		in.Arrivals, err = as.Generate(spec, src.Split())
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	var faults failure.Source
 	switch {
 	case *faultFile != "":
@@ -149,6 +185,26 @@ func main() {
 	fmt.Printf("redistributions    %d (total cost %.2f s)\n", c.Redistributions, c.RedistTime)
 	fmt.Printf("events             %d (%d task ends, %d finalized early)\n",
 		c.Events, c.TaskEnds, c.EarlyFinalized)
+
+	if len(in.Arrivals) > 0 {
+		nBase := len(in.Tasks)
+		var respSum, waitSum, worstWait float64
+		for i := nBase; i < len(res.Finish); i++ {
+			resp := res.Finish[i] - res.Arrive[i]
+			wait := res.Start[i] - res.Arrive[i]
+			respSum += resp
+			waitSum += wait
+			if wait > worstWait {
+				worstWait = wait
+			}
+		}
+		nj := float64(len(res.Finish) - nBase)
+		fmt.Printf("arrivals           %d submitted, mean response %.2f s, mean wait %.2f s (max %.2f s)\n",
+			c.Submits, respSum/nj, waitSum/nj, worstWait)
+		fmt.Printf("utilization        %.1f%% (%.3g of %.3g proc-seconds)\n",
+			100*res.ProcSeconds/(float64(in.P)*res.Makespan),
+			res.ProcSeconds, float64(in.P)*res.Makespan)
+	}
 
 	if *breakdown && res.Breakdown != nil {
 		b := res.Breakdown

@@ -11,8 +11,9 @@
 // Layout:
 //
 //   - internal/core        — the paper's Algorithms 1–5, the reusable
-//     zero-allocation simulation engine (Simulator) and the pluggable
-//     policy registry
+//     zero-allocation simulation engine (Simulator), the pluggable
+//     policy registry, and the online kernel (dynamic job arrivals
+//     with arrival-aware redistribution, DESIGN.md §10)
 //   - internal/model       — execution-time and resilience formulas
 //     (Eq. 1–10)
 //   - internal/failure     — fault simulator (exponential/Weibull
@@ -22,7 +23,8 @@
 //   - internal/redistrib   — bipartite transfer-round scheduler (König)
 //   - internal/npc         — Theorem 2 reduction from 3-Partition
 //   - internal/scenario    — declarative, JSON-encodable experiment
-//     specs: workload, failure law, policy list, parameter grids
+//     specs: workload, failure law, policy list, parameter grids,
+//     optional arrivals block (online regime)
 //   - internal/campaign    — sharded Monte-Carlo campaign runner over
 //     scenario specs (worker pool, per-unit RNG streams, JSONL/CSV
 //     sinks, resumable manifests)

@@ -15,21 +15,36 @@ import (
 // exactly from their raw samples).
 var CellQuantiles = []float64{0.5, 0.95}
 
-// cellState is the streaming aggregate of one (point, policy) cell of an
-// adaptive campaign: Summary-compatible moments, the batch-means CI that
-// drives the stopping rule, and P² quantile sketches. Replicates fold in
-// replicate order, so every field is a deterministic function of the
-// folded prefix.
-type cellState struct {
+// metricCell is the streaming aggregate of one metric of one (point,
+// policy) cell: Summary-compatible moments, a batch-means CI, and P²
+// quantile sketches.
+type metricCell struct {
 	acc    stats.Accumulator
 	bm     stats.BatchMeans
 	quants *stats.QuantileSet
 }
 
-func (c *cellState) add(x float64) {
+func (c *metricCell) add(x float64) {
 	c.acc.Add(x)
 	c.bm.Add(x)
 	c.quants.Add(x)
+}
+
+// cellState is the streaming aggregate of one (point, policy) cell of an
+// adaptive campaign: one metricCell per metric (just the makespan
+// offline; the per-job online metrics behind it for online campaigns, so
+// adaptive precision drives stretch exactly like makespan). Replicates
+// fold in replicate order, so every field is a deterministic function of
+// the folded prefix.
+type cellState struct {
+	m []metricCell
+}
+
+// add folds one replicate's metric vector (width len(c.m)).
+func (c *cellState) add(vals []float64) {
+	for k := range c.m {
+		c.m[k].add(vals[k])
+	}
 }
 
 // pointState is the controller state of one grid point.
@@ -44,7 +59,7 @@ type unitJob struct{ point, rep int }
 
 type unitResult struct {
 	point, rep int
-	makespans  []float64
+	vals       []float64 // metricsPerPolicy values per policy
 	err        error
 }
 
@@ -66,6 +81,7 @@ type adaptiveController struct {
 	maxReps  int
 	conf     float64
 	relHW    float64
+	nm       int // metrics per policy (metricsPerPolicy)
 	points   []pointState
 	queue    []unitJob
 	inflight int // queued + dispatched, not yet handled
@@ -77,14 +93,18 @@ type adaptiveController struct {
 // runAdaptive executes a scenario carrying a precision block.
 func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics) (*Result, error) {
 	prec := *sp.Precision
+	nm := metricsPerPolicy(sp)
 	res := &Result{Spec: sp, Points: points, Policies: policies, adaptive: true}
 	res.Reps = make([]int, len(points))
 	res.cells = make([][]cellState, len(points))
 	for pi := range res.cells {
 		cs := make([]cellState, len(policies))
 		for qi := range cs {
-			cs[qi].bm = stats.NewBatchMeans(prec.BatchSize())
-			cs[qi].quants = stats.NewQuantileSet(CellQuantiles...)
+			cs[qi].m = make([]metricCell, nm)
+			for k := range cs[qi].m {
+				cs[qi].m[k].bm = stats.NewBatchMeans(prec.BatchSize())
+				cs[qi].m[k].quants = stats.NewQuantileSet(CellQuantiles...)
+			}
 		}
 		res.cells[pi] = cs
 	}
@@ -98,6 +118,7 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 		maxReps: prec.MaxReplicates,
 		conf:    prec.ConfidenceLevel(),
 		relHW:   prec.RelHalfWidth,
+		nm:      nm,
 		points:  make([]pointState, len(points)),
 	}
 	c.estTotal = len(points) * c.maxReps
@@ -107,8 +128,8 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 
 	if opt.Manifest != nil {
 		rcap := sp.ReplicateCap()
-		_, err := opt.Manifest.restore(sp, len(policies), func(unit int, makespans []float64) {
-			c.points[unit/rcap].pending[unit%rcap] = makespans
+		_, err := opt.Manifest.restore(sp, len(policies), func(unit int, vals []float64) {
+			c.points[unit/rcap].pending[unit%rcap] = vals
 		})
 		if err != nil {
 			return nil, err
@@ -138,8 +159,12 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 
 	// Per-point shared compiled models, built at point-scheduling time
 	// and handed to the workers read-only (nil for points that must
-	// compile per unit).
+	// compile per unit), plus the once-per-campaign arrival trace.
 	shared := sharedPointModels(sp, points, policies)
+	trace, err := loadArrivalTrace(sp)
+	if err != nil {
+		return nil, err
+	}
 
 	jobs := make(chan unitJob)
 	results := make(chan unitResult, workers)
@@ -150,11 +175,11 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 			defer wg.Done()
 			ws := newWorkerState()
 			for job := range jobs {
-				makespans, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point])
+				vals, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point], trace)
 				r := unitResult{point: job.point, rep: job.rep, err: err}
 				if err == nil {
 					// runUnit reuses its buffer; the result outlives it.
-					r.makespans = append([]float64(nil), makespans...)
+					r.vals = append([]float64(nil), vals...)
 				}
 				results <- r
 			}
@@ -196,10 +221,10 @@ func (c *adaptiveController) handle(r unitResult) {
 		}
 		return
 	}
-	ps.pending[r.rep] = r.makespans
+	ps.pending[r.rep] = r.vals
 	if c.opt.Manifest != nil {
 		unit := r.point*c.sp.ReplicateCap() + r.rep
-		if err := c.opt.Manifest.append(unit, r.makespans); err != nil && c.firstErr == nil {
+		if err := c.opt.Manifest.append(unit, r.vals); err != nil && c.firstErr == nil {
 			c.firstErr = err
 		}
 	}
@@ -216,14 +241,14 @@ func (c *adaptiveController) handle(r unitResult) {
 func (c *adaptiveController) advance(pi int) {
 	ps := &c.points[pi]
 	for !ps.stopped {
-		makespans, ok := ps.pending[ps.folded]
+		vals, ok := ps.pending[ps.folded]
 		if !ok {
 			break
 		}
 		delete(ps.pending, ps.folded)
 		cells := c.res.cells[pi]
 		for qi := range cells {
-			cells[qi].add(makespans[qi])
+			cells[qi].add(vals[qi*c.nm : (qi+1)*c.nm])
 		}
 		ps.folded++
 		c.res.Reps[pi] = ps.folded
@@ -259,7 +284,10 @@ func (c *adaptiveController) advance(pi int) {
 // shouldStop evaluates the sequential stopping rule for one point: stop
 // at the replicate cap, never before the floor, and otherwise only once
 // every policy's batch-means CI half-width is within the target relative
-// to its mean.
+// to its mean — for the makespan and, in online campaigns, the mean
+// stretch as well (response/wait/utilization are reported but do not
+// gate stopping: queue wait can be legitimately zero-mean, where a
+// relative CI target is undefined).
 func (c *adaptiveController) shouldStop(pi int) bool {
 	ps := &c.points[pi]
 	if ps.folded >= c.maxReps {
@@ -270,7 +298,10 @@ func (c *adaptiveController) shouldStop(pi int) bool {
 	}
 	cells := c.res.cells[pi]
 	for qi := range cells {
-		if !cells[qi].bm.Converged(c.conf, c.relHW) {
+		if !cells[qi].m[MetricMakespan].bm.Converged(c.conf, c.relHW) {
+			return false
+		}
+		if c.nm > 1 && !cells[qi].m[MetricStretch].bm.Converged(c.conf, c.relHW) {
 			return false
 		}
 	}

@@ -29,14 +29,67 @@ import (
 	"cosched/internal/rng"
 	"cosched/internal/scenario"
 	"cosched/internal/stats"
+	"cosched/internal/workload"
 )
 
 // Stream identifiers for rng.SubSeed derivation. Distinct constants keep
-// the task-generation and fault streams of a unit independent.
+// the task-generation, fault and arrival streams of a unit independent.
 const (
-	streamTasks  = 0x7461736b // "task"
-	streamFaults = 0x66617574 // "faut"
+	streamTasks    = 0x7461736b // "task"
+	streamFaults   = 0x66617574 // "faut"
+	streamArrivals = 0x61727276 // "arrv"
 )
+
+// Metric indices within a unit's per-policy value vector. Offline
+// campaigns carry only the makespan; online campaigns (spec with an
+// arrivals block) append the per-job aggregates, each folded through the
+// same streaming cells as the makespan so adaptive precision works on
+// stretch exactly as on makespan. The per-job means cover every job of
+// the unit — the base pack counts as jobs arriving at t = 0 with zero
+// queue wait (cmd/coschedsim's "arrivals" line, by contrast, reports
+// the dynamically arriving jobs alone).
+const (
+	// MetricMakespan is the completion time of the last job.
+	MetricMakespan = iota
+	// MetricResponse is the mean per-job response time (finish − arrive).
+	MetricResponse
+	// MetricStretch is the mean per-job bounded slowdown:
+	// max(1, response / max(ref, 1 s)) with ref the job's fault-free
+	// execution time on the full platform.
+	MetricStretch
+	// MetricWait is the mean per-job queue wait (start − arrive).
+	MetricWait
+	// MetricUtilization is busy proc-seconds / (P × makespan).
+	MetricUtilization
+	numOnlineMetrics
+)
+
+// OnlineMetricNames lists the online metric names in metric-index order.
+var OnlineMetricNames = []string{"makespan", "response", "stretch", "wait", "utilization"}
+
+// stretchBound is the bounded-slowdown floor on the reference time:
+// jobs faster than this are treated as 1-second jobs so the stretch of
+// near-zero-work jobs stays finite (Feitelson's bounded slowdown).
+const stretchBound = 1.0
+
+// metricsPerPolicy returns the width of a unit's per-policy value
+// vector: 1 offline, numOnlineMetrics online.
+func metricsPerPolicy(sp scenario.Spec) int {
+	if sp.Arrivals != nil {
+		return numOnlineMetrics
+	}
+	return 1
+}
+
+// loadArrivalTrace parses a trace-process spec's arrival trace once per
+// campaign, so the per-unit hot path never touches the filesystem. It
+// is nil for offline specs and the generated processes.
+func loadArrivalTrace(sp scenario.Spec) ([]workload.TraceArrival, error) {
+	if sp.Arrivals == nil || sp.Arrivals.Process != workload.ArrivalTrace {
+		return nil, nil
+	}
+	return workload.LoadArrivalTrace(sp.Arrivals.Trace)
+}
 
 // Options tunes a campaign execution.
 type Options struct {
@@ -69,11 +122,19 @@ type Result struct {
 	// point (the fixed count, or whatever the adaptive stopping rule
 	// decided).
 	Reps []int
+	// online holds the per-replicate online metrics of a fixed online
+	// campaign, indexed like Makespans; nil for offline and adaptive
+	// campaigns.
+	online [][][]onlineUnit
 	// cells holds the streaming per-(point, policy) aggregates of an
 	// adaptive campaign, folded in replicate order.
 	cells    [][]cellState
 	adaptive bool
 }
+
+// onlineUnit is one replicate's online metric vector (metric indices
+// MetricResponse.. shifted down by one; the makespan lives in Makespans).
+type onlineUnit [numOnlineMetrics - 1]float64
 
 // Run executes the scenario and blocks until every unit completed.
 func Run(sp scenario.Spec, opt Options) (*Result, error) {
@@ -96,14 +157,34 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		return runAdaptive(sp, opt, points, policies, semantics)
 	}
 
+	nm := metricsPerPolicy(sp)
 	res := &Result{Spec: sp, Points: points, Policies: policies}
 	res.Reps = make([]int, len(points))
 	res.Makespans = make([][][]float64, len(points))
+	if nm > 1 {
+		res.online = make([][][]onlineUnit, len(points))
+	}
 	for pi := range points {
 		res.Reps[pi] = sp.Replicates
 		res.Makespans[pi] = make([][]float64, len(policies))
+		if nm > 1 {
+			res.online[pi] = make([][]onlineUnit, len(policies))
+		}
 		for qi := range policies {
 			res.Makespans[pi][qi] = make([]float64, sp.Replicates)
+			if nm > 1 {
+				res.online[pi][qi] = make([]onlineUnit, sp.Replicates)
+			}
+		}
+	}
+
+	// setCell scatters one unit's flat value vector into the result.
+	setCell := func(pi, rep int, vals []float64) {
+		for qi := range policies {
+			res.Makespans[pi][qi][rep] = vals[qi*nm+MetricMakespan]
+			if nm > 1 {
+				copy(res.online[pi][qi][rep][:], vals[qi*nm+1:(qi+1)*nm])
+			}
 		}
 	}
 
@@ -111,11 +192,8 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 	done := 0
 	restored := make([]bool, total)
 	if opt.Manifest != nil {
-		n, err := opt.Manifest.restore(sp, len(policies), func(unit int, makespans []float64) {
-			pi, rep := unit/sp.Replicates, unit%sp.Replicates
-			for qi := range policies {
-				res.Makespans[pi][qi][rep] = makespans[qi]
-			}
+		n, err := opt.Manifest.restore(sp, len(policies), func(unit int, vals []float64) {
+			setCell(unit/sp.Replicates, unit%sp.Replicates, vals)
 			restored[unit] = true
 		})
 		if err != nil {
@@ -138,6 +216,10 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 	// Per-point shared models are built here, at point-scheduling time:
 	// workers receive them read-only and never compile for these points.
 	shared := sharedPointModels(sp, points, policies)
+	trace, err := loadArrivalTrace(sp)
+	if err != nil {
+		return nil, err
+	}
 
 	units := make(chan int)
 	errs := make(chan error, workers)
@@ -153,7 +235,7 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 			ws := newWorkerState()
 			for unit := range units {
 				pi, rep := unit/sp.Replicates, unit%sp.Replicates
-				makespans, err := ws.runUnit(sp, points[pi], policies, semantics, rep, shared[pi])
+				vals, err := ws.runUnit(sp, points[pi], policies, semantics, rep, shared[pi], trace)
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, points[pi].X, rep, err):
@@ -162,11 +244,9 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 					continue
 				}
 				mu.Lock()
-				for qi := range policies {
-					res.Makespans[pi][qi][rep] = makespans[qi]
-				}
+				setCell(pi, rep, vals)
 				if opt.Manifest != nil {
-					if err := opt.Manifest.append(unit, makespans); err != nil {
+					if err := opt.Manifest.append(unit, vals); err != nil {
 						select {
 						case errs <- err:
 						default:
@@ -206,11 +286,14 @@ type workerState struct {
 	renewal   failure.Renewal
 	taskRNG   *rng.Source
 	faultRNG  *rng.Source
+	arrRNG    *rng.Source
 	out       []float64
 	// comp/compFF are the per-unit compiled instance models (failure
 	// parameters on / off), rebuilt in place once per unit and shared by
 	// every policy of the unit. When the grid point carries a shared
-	// pointModel these arenas stay untouched.
+	// pointModel these arenas stay untouched. Online units leave both
+	// untouched too: the simulator owns its tables there, because it
+	// appends per-arrival rows during the run.
 	comp   model.Compiled
 	compFF model.Compiled
 }
@@ -220,6 +303,7 @@ func newWorkerState() *workerState {
 		simulator: core.NewSimulator(),
 		taskRNG:   rng.New(0),
 		faultRNG:  rng.New(0),
+		arrRNG:    rng.New(0),
 	}
 }
 
@@ -246,8 +330,10 @@ var disableSharedPointModels = false
 // point whose replicates provably draw the same pack. Entries are nil for
 // points that must compile per unit; the slice itself is the scheduler's
 // hand-off to the workers and is never mutated after this returns.
+// Online campaigns never share: the simulator appends per-arrival rows
+// to its tables during a run, so they must stay private per worker.
 func sharedPointModels(sp scenario.Spec, points []scenario.RunPoint, policies []scenario.PolicySpec) []*pointModel {
-	if disableSharedPointModels {
+	if disableSharedPointModels || sp.Arrivals != nil {
 		return make([]*pointModel, len(points))
 	}
 	anyFF, anyFault := false, false
@@ -298,12 +384,17 @@ func sharedPointModels(sp scenario.Spec, points []scenario.RunPoint, policies []
 // runUnit executes every policy of one (point, replicate) cell on the
 // worker's persistent arena. The unit derives its streams purely from
 // (seed, point index, replicate), so any shard computes identical
-// numbers, and all policies share the task draw and the fault-stream
-// seed (common random numbers). The compiled instance model is built
-// once per unit — or taken from the point's shared pointModel — and
-// reused by every policy. The returned slice is reused by the next unit
-// of this worker; Run copies what it keeps.
-func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int, shared *pointModel) ([]float64, error) {
+// numbers, and all policies share the task draw, the fault-stream seed
+// and — online — the arrival schedule (common random numbers). The
+// compiled instance model is built once per unit — or taken from the
+// point's shared pointModel — and reused by every policy; online units
+// instead let the simulator own its tables, since the kernel appends
+// per-arrival rows during the run. The returned slice holds
+// metricsPerPolicy values per policy (metric-major within a policy) and
+// is reused by the next unit of this worker; Run copies what it keeps.
+// trace carries the campaign's pre-loaded arrival-trace entries (nil
+// unless the spec uses the trace process).
+func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int, shared *pointModel, trace []workload.TraceArrival) ([]float64, error) {
 	faultSeed := rng.SubSeed(sp.Seed, streamFaults, uint64(pt.Index), uint64(rep))
 	var tasks []model.Task
 	if shared != nil {
@@ -323,10 +414,24 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 			return nil, err
 		}
 	}
-	if cap(ws.out) < len(policies) {
-		ws.out = make([]float64, len(policies))
+	online := sp.Arrivals != nil
+	var arrivals []core.Arrival
+	if online {
+		// One arrival schedule per unit, shared by every policy (common
+		// random numbers), from its own stream so adding arrivals to a
+		// spec does not disturb the task or fault draws.
+		ws.arrRNG.Reseed(rng.SubSeed(sp.Seed, streamArrivals, uint64(pt.Index), uint64(rep)))
+		var err error
+		arrivals, err = sp.Arrivals.GenerateFromTrace(pt.Spec, ws.arrRNG, trace)
+		if err != nil {
+			return nil, err
+		}
 	}
-	out := ws.out[:len(policies)]
+	nm := metricsPerPolicy(sp)
+	if cap(ws.out) < len(policies)*nm {
+		ws.out = make([]float64, len(policies)*nm)
+	}
+	out := ws.out[:len(policies)*nm]
 	var cm, cmFF *model.Compiled // the unit's compiled models, resolved lazily
 	for qi, pol := range policies {
 		runSpec := pt.Spec
@@ -347,8 +452,12 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 			}
 			src = &ws.renewal
 		}
-		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience()}
-		if pol.FaultFree {
+		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience(), Arrivals: arrivals}
+		switch {
+		case online:
+			// The simulator appends per-arrival tables to its own arena;
+			// a shared handle is rejected by Reset.
+		case pol.FaultFree:
 			if cmFF == nil {
 				if shared != nil {
 					cmFF = shared.compFF
@@ -360,7 +469,7 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 				}
 			}
 			in.Compiled = cmFF
-		} else {
+		default:
 			if cm == nil {
 				if shared != nil {
 					cm = shared.comp
@@ -380,9 +489,48 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 		if err != nil {
 			return nil, err
 		}
-		out[qi] = r.Makespan
+		out[qi*nm+MetricMakespan] = r.Makespan
+		if online {
+			onlineMetrics(out[qi*nm:qi*nm+nm], &r, tasks, arrivals, runSpec.P)
+		}
 	}
 	return out, nil
+}
+
+// onlineMetrics fills one policy's metric vector from a finished run:
+// per-job means of response time, bounded slowdown and queue wait, plus
+// platform utilization. The stretch reference is the job's fault-free
+// execution time on the full (even) platform — the best it could ever
+// do — floored at stretchBound seconds.
+func onlineMetrics(dst []float64, r *core.Result, tasks []model.Task, arrivals []core.Arrival, p int) {
+	evenP := p - p%2
+	nj := len(r.Finish)
+	var respSum, strSum, waitSum float64
+	for i := 0; i < nj; i++ {
+		resp := r.Finish[i] - r.Arrive[i]
+		wait := r.Start[i] - r.Arrive[i]
+		var ref float64
+		if i < len(tasks) {
+			ref = tasks[i].Time(evenP)
+		} else {
+			ref = arrivals[i-len(tasks)].Task.Time(evenP)
+		}
+		if ref < stretchBound {
+			ref = stretchBound
+		}
+		str := resp / ref
+		if str < 1 {
+			str = 1
+		}
+		respSum += resp
+		strSum += str
+		waitSum += wait
+	}
+	n := float64(nj)
+	dst[MetricResponse] = respSum / n
+	dst[MetricStretch] = strSum / n
+	dst[MetricWait] = waitSum / n
+	dst[MetricUtilization] = r.ProcSeconds / (float64(p) * r.Makespan)
 }
 
 // faultFreeOnly reports whether no policy ever consumes faults.
@@ -401,11 +549,35 @@ func faultFreeOnly(policies []scenario.PolicySpec) bool {
 // are bit-identical.
 func (r *Result) Cell(point, policy int) stats.Summary {
 	if r.adaptive {
-		return r.cells[point][policy].acc.Summary()
+		return r.cells[point][policy].m[MetricMakespan].acc.Summary()
 	}
 	var a stats.Accumulator
 	a.AddAll(r.Makespans[point][policy])
 	return a.Summary()
+}
+
+// Online reports whether the campaign ran with dynamic job arrivals.
+func (r *Result) Online() bool { return r.Spec.Arrivals != nil }
+
+// OnlineCell aggregates one online metric (MetricResponse,
+// MetricStretch, MetricWait or MetricUtilization; MetricMakespan is
+// Cell) of one cell, folding the per-replicate values in replicate
+// order. ok is false for offline campaigns or unknown metrics.
+func (r *Result) OnlineCell(point, policy, metric int) (stats.Summary, bool) {
+	if !r.Online() || metric < MetricMakespan || metric >= numOnlineMetrics {
+		return stats.Summary{}, false
+	}
+	if metric == MetricMakespan {
+		return r.Cell(point, policy), true
+	}
+	if r.adaptive {
+		return r.cells[point][policy].m[metric].acc.Summary(), true
+	}
+	var a stats.Accumulator
+	for _, u := range r.online[point][policy] {
+		a.Add(u[metric-1])
+	}
+	return a.Summary(), true
 }
 
 // Quantile returns the q-quantile of a cell's makespan distribution:
@@ -415,7 +587,7 @@ func (r *Result) Cell(point, policy int) stats.Summary {
 // tracked quantiles (see CellQuantiles).
 func (r *Result) Quantile(point, policy int, q float64) (float64, bool) {
 	if r.adaptive {
-		return r.cells[point][policy].quants.Quantile(q)
+		return r.cells[point][policy].m[MetricMakespan].quants.Quantile(q)
 	}
 	mk := r.Makespans[point][policy]
 	if len(mk) == 0 {
@@ -436,7 +608,7 @@ func (r *Result) CellRelHalfWidth(point, policy int) (float64, bool) {
 	}
 	var hw, mean float64
 	if r.adaptive {
-		c := &r.cells[point][policy]
+		c := &r.cells[point][policy].m[MetricMakespan]
 		w, ok := c.bm.HalfWidth(conf)
 		if !ok {
 			return 0, false
@@ -567,7 +739,19 @@ func (r *Result) Table() (*stats.Table, error) {
 	return t, nil
 }
 
+// OnlineStats carries the per-job aggregates of one online campaign
+// cell: replicate-level summaries of mean response time, mean bounded
+// slowdown (stretch), mean queue wait and platform utilization.
+type OnlineStats struct {
+	Response    stats.Summary `json:"response"`
+	Stretch     stats.Summary `json:"stretch"`
+	Wait        stats.Summary `json:"wait"`
+	Utilization stats.Summary `json:"utilization"`
+}
+
 // Record is one JSONL result line: the aggregate of one campaign cell.
+// Online is present only for campaigns with an arrivals block, so
+// offline output stays byte-identical to pre-online versions.
 type Record struct {
 	Scenario string             `json:"scenario"`
 	Point    int                `json:"point"`
@@ -576,6 +760,7 @@ type Record struct {
 	Policy   string             `json:"policy"`
 	Label    string             `json:"label,omitempty"`
 	Stats    stats.Summary      `json:"stats"`
+	Online   *OnlineStats       `json:"online,omitempty"`
 }
 
 // WriteJSONL streams one Record per campaign cell, ordered by grid point
@@ -595,6 +780,13 @@ func (r *Result) WriteJSONL(w io.Writer) error {
 			}
 			if pol.Label != pol.Name {
 				rec.Label = pol.Label
+			}
+			if r.Online() {
+				resp, _ := r.OnlineCell(pi, qi, MetricResponse)
+				str, _ := r.OnlineCell(pi, qi, MetricStretch)
+				wait, _ := r.OnlineCell(pi, qi, MetricWait)
+				util, _ := r.OnlineCell(pi, qi, MetricUtilization)
+				rec.Online = &OnlineStats{Response: resp, Stretch: str, Wait: wait, Utilization: util}
 			}
 			if err := enc.Encode(rec); err != nil {
 				return fmt.Errorf("campaign: writing JSONL: %w", err)

@@ -29,6 +29,11 @@ type manifestHeader struct {
 	Policies    int    `json:"policies"`
 }
 
+// manifestUnit records one finished unit's value vector: one makespan
+// per policy for offline campaigns, metricsPerPolicy values per policy
+// (flattened policy-major) for online ones. The field keeps its original
+// JSON name so offline manifests stay byte-compatible; online specs have
+// distinct fingerprints, so the two layouts never mix in one journal.
 type manifestUnit struct {
 	Unit      int       `json:"unit"`
 	Makespans []float64 `json:"makespans"`
@@ -57,10 +62,12 @@ func (m *Manifest) Close() error {
 }
 
 // restore validates the journal against the spec, replays every recorded
-// unit through fn, and leaves the file open for appending. It returns
-// the number of restored units. A missing or empty file starts a fresh
-// journal; a truncated trailing line (interrupted write) is dropped.
-func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, makespans []float64)) (int, error) {
+// unit through fn (vals is the unit's flat value vector — policies ×
+// metricsPerPolicy entries), and leaves the file open for appending. It
+// returns the number of restored units. A missing or empty file starts a
+// fresh journal; a truncated trailing line (interrupted write) is
+// dropped.
+func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, vals []float64)) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -117,7 +124,7 @@ func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, mak
 				}
 				return 0, fmt.Errorf("campaign: manifest %s line %d: %w", m.path, li+2, err)
 			}
-			if u.Unit < 0 || u.Unit >= head.Units || len(u.Makespans) != policies || seen[u.Unit] {
+			if u.Unit < 0 || u.Unit >= head.Units || len(u.Makespans) != policies*metricsPerPolicy(sp) || seen[u.Unit] {
 				return 0, fmt.Errorf("campaign: manifest %s has a corrupt unit record %d", m.path, u.Unit)
 			}
 			seen[u.Unit] = true
@@ -153,14 +160,14 @@ func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, mak
 	return restored, nil
 }
 
-// append journals one completed unit.
-func (m *Manifest) append(unit int, makespans []float64) error {
+// append journals one completed unit's flat value vector.
+func (m *Manifest) append(unit int, vals []float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.enc == nil {
 		return fmt.Errorf("campaign: manifest %s not opened by a campaign run", m.path)
 	}
-	if err := m.enc.Encode(manifestUnit{Unit: unit, Makespans: makespans}); err != nil {
+	if err := m.enc.Encode(manifestUnit{Unit: unit, Makespans: vals}); err != nil {
 		return fmt.Errorf("campaign: appending to manifest: %w", err)
 	}
 	return nil

@@ -13,7 +13,9 @@ import (
 
 const defaultMaxEvents = 5_000_000
 
-// taskState is the per-task bookkeeping of Algorithm 2.
+// taskState is the per-task bookkeeping of Algorithm 2, extended with
+// the online fields (arrival/admission times and the waiting flag; all
+// zero for the offline base pack).
 type taskState struct {
 	sigma   int     // σ(i): current processor count (0 once finished)
 	alpha   float64 // α_i: remaining fraction of work at tlastR
@@ -22,6 +24,9 @@ type taskState struct {
 	end     float64 // scheduled end-event time (tU or fault-free finish)
 	endVer  uint64  // end-event version for logical cancellation
 	done    bool
+	waiting bool    // submitted, not yet admitted (online mode)
+	arrive  float64 // submission time (0 for the base pack)
+	start   float64 // admission time (0 for the base pack)
 	finish  float64 // realized completion time
 	lastSig int     // allocation held when the task completed
 }
@@ -34,13 +39,15 @@ type taskState struct {
 //
 // A Simulator is not safe for concurrent use; campaign-level parallelism
 // uses one Simulator per worker. The Result returned by Run aliases the
-// simulator's arenas (Finish, Sigma, History): callers that keep results
-// across the next Reset must copy them (see DESIGN.md §7).
+// simulator's arenas (Finish, Sigma, Arrive, Start, History): callers
+// that keep results across the next Reset must copy them (see
+// DESIGN.md §7).
 type Simulator struct {
 	in     Instance
 	pol    Policy
 	endH   EndHeuristic
 	failH  FailHeuristic
+	arrH   ArrivalHeuristic
 	opt    Options
 	plat   *platform.Platform
 	st     []taskState
@@ -55,14 +62,27 @@ type Simulator struct {
 	acct   *accounting
 	primed bool
 
+	// Online state (see online.go). The task arena e.st grows past the
+	// base pack as jobs arrive; pendQ/pendHead form the FIFO admission
+	// queue; busyInt integrates busy processor-seconds.
+	online      bool
+	submitsLeft int   // submit events still in the queue
+	pendQ       []int // submitted task indices awaiting admission
+	pendHead    int
+	arrivedBuf  []int // admission-round scratch
+	busyInt     float64
+	busyAt      float64
+
 	// Arenas reused across runs.
-	sigma0   []int         // initial schedule (Algorithm 1)
-	elig     []int         // eligibility buffer
-	finish   []float64     // Result.Finish backing
-	sigmaRes []int         // Result.Sigma backing
-	heap     taskHeap      // shared by Algorithm 1 and the heuristics
-	d        Decision      // policy scratch (index-addressed slices)
-	tuEval   model.MinEval // spare evaluator for one-shot tU queries
+	sigma0    []int         // initial schedule (Algorithm 1)
+	elig      []int         // eligibility buffer
+	finish    []float64     // Result.Finish backing
+	sigmaRes  []int         // Result.Sigma backing
+	arriveRes []float64     // Result.Arrive backing
+	startRes  []float64     // Result.Start backing
+	heap      taskHeap      // shared by Algorithm 1 and the heuristics
+	d         Decision      // policy scratch (index-addressed slices)
+	tuEval    model.MinEval // spare evaluator for one-shot tU queries
 
 	// Compiled instance model: every steady-state model query goes
 	// through cm. It points either at the caller's shared tables
@@ -130,12 +150,21 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 	// A failed Reset must not leave the simulator runnable with the
 	// previous configuration.
 	e.primed = false
-	endH, failH, err := resolveHeuristics(pol)
+	endH, failH, arrH, err := resolveHeuristics(pol)
 	if err != nil {
 		return err
 	}
 	if err := in.Validate(); err != nil {
 		return err
+	}
+	online := len(in.Arrivals) > 0
+	if online {
+		if in.Compiled != nil {
+			return fmt.Errorf("core: Instance.Compiled cannot be shared with Arrivals (the online kernel appends per-arrival tables)")
+		}
+		if opt.Accounting {
+			return fmt.Errorf("core: Options.Accounting is not supported with Arrivals")
+		}
 	}
 	if src == nil {
 		src = failure.Null{}
@@ -143,13 +172,23 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 	n := len(in.Tasks)
 	e.in = in
 	e.pol = pol
-	e.endH, e.failH = endH, failH
+	e.endH, e.failH, e.arrH = endH, failH, arrH
 	e.opt = opt
 	if e.opt.MaxEvents <= 0 {
 		e.opt.MaxEvents = defaultMaxEvents
 	}
 	e.src = src
+	e.online = online
+	e.submitsLeft = len(in.Arrivals)
+	e.pendQ = e.pendQ[:0]
+	e.pendHead = 0
+	e.busyInt, e.busyAt = 0, 0
 	e.resize(n)
+	// Drop any per-arrival rows a previous online run appended, so the
+	// base tables keep matching across the replicate loop (the PR 4
+	// identity-check contract; appended rows sit strictly after the base
+	// rows, so this is a length change, not a rebuild).
+	e.ownComp.TruncateExtra()
 	if err := e.bindCompiled(in); err != nil {
 		return err
 	}
@@ -189,6 +228,12 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 		// schedule, so this is ExpectedTime without the allocation.
 		s.tU = e.d.evals[i].At(s.sigma)
 		e.scheduleEnd(i)
+	}
+	// Submit events are enqueued after the base end events, so at equal
+	// timestamps an initial end sorts before a submission (FIFO seq
+	// order, the sim.Queue tie-break contract).
+	for k := range in.Arrivals {
+		e.q.Push(sim.Event{Time: in.Arrivals[k].Time, Kind: sim.KindSubmit, Task: k})
 	}
 	e.pullFault()
 	e.primed = true
@@ -282,13 +327,13 @@ func (e *Simulator) Run() (Result, error) {
 	}
 	e.primed = false
 
-	for e.live > 0 {
+	for e.live > 0 || e.waiting() > 0 || e.submitsLeft > 0 {
 		if e.ctr.Events >= e.opt.MaxEvents {
 			return Result{}, fmt.Errorf("core: aborted after %d events (divergent configuration?)", e.ctr.Events)
 		}
-		ev, ok := e.peekValidEnd()
+		ev, ok := e.peekValid()
 		if !ok {
-			return Result{}, fmt.Errorf("core: no pending end event with %d live tasks", e.live)
+			return Result{}, fmt.Errorf("core: no pending event with %d live and %d waiting tasks", e.live, e.waiting())
 		}
 		if e.have && e.next.Time < ev.Time {
 			f := e.next
@@ -296,7 +341,13 @@ func (e *Simulator) Run() (Result, error) {
 			e.processFault(f)
 		} else {
 			e.q.Pop()
-			e.processEnd(ev.Task, ev.Time)
+			if ev.Kind == sim.KindSubmit {
+				if err := e.processSubmit(ev.Task, ev.Time); err != nil {
+					return Result{}, err
+				}
+			} else {
+				e.processEnd(ev.Task, ev.Time)
+			}
 		}
 		if e.opt.Paranoia {
 			if err := e.check(); err != nil {
@@ -305,11 +356,22 @@ func (e *Simulator) Run() (Result, error) {
 		}
 	}
 
+	// The task arena may have grown past the base pack; the Result
+	// arenas follow (their previous contents are dead, so growth need
+	// not preserve them).
+	nAll := len(e.st)
+	growFloats(&e.finish, nAll)
+	growInts(&e.sigmaRes, nAll)
+	growFloats(&e.arriveRes, nAll)
+	growFloats(&e.startRes, nAll)
 	res := Result{
-		Makespan: 0,
-		Finish:   e.finish,
-		Sigma:    e.sigmaRes,
-		Counters: e.ctr,
+		Makespan:    0,
+		Finish:      e.finish,
+		Sigma:       e.sigmaRes,
+		Arrive:      e.arriveRes,
+		Start:       e.startRes,
+		ProcSeconds: e.busyInt,
+		Counters:    e.ctr,
 	}
 	if e.opt.RecordHistory {
 		res.History = e.hist
@@ -317,6 +379,8 @@ func (e *Simulator) Run() (Result, error) {
 	for i := range e.st {
 		e.finish[i] = e.st[i].finish
 		e.sigmaRes[i] = e.st[i].lastSig
+		e.arriveRes[i] = e.st[i].arrive
+		e.startRes[i] = e.st[i].start
 		if e.st[i].finish > res.Makespan {
 			res.Makespan = e.st[i].finish
 		}
@@ -333,13 +397,17 @@ func (e *Simulator) pullFault() {
 	e.next, e.have = e.src.Next()
 }
 
-// peekValidEnd returns the earliest non-stale task-end event, discarding
-// stale ones.
-func (e *Simulator) peekValidEnd() (sim.Event, bool) {
+// peekValid returns the earliest valid queued event, discarding stale
+// task-end events (submit events are always valid; their Task field is
+// an arrival index, not a task index).
+func (e *Simulator) peekValid() (sim.Event, bool) {
 	for {
 		ev, ok := e.q.Peek()
 		if !ok {
 			return sim.Event{}, false
+		}
+		if ev.Kind == sim.KindSubmit {
+			return ev, true
 		}
 		s := &e.st[ev.Task]
 		if !s.done && ev.Version == s.endVer {
@@ -382,6 +450,7 @@ func (e *Simulator) finalize(i int, t float64) {
 	e.emit(TraceEvent{Time: t, Kind: "end", Task: i})
 	s.alpha = 0
 	s.lastSig = s.sigma
+	e.accrueBusy(t)
 	e.plat.ReleaseAll(i)
 	s.sigma = 0
 	e.live--
@@ -395,7 +464,7 @@ func (e *Simulator) eligible(t float64) []int {
 	out := e.elig[:0]
 	for i := range e.st {
 		s := &e.st[i]
-		if !s.done && t >= s.tlastR {
+		if !s.done && !s.waiting && t >= s.tlastR {
 			out = append(out, i)
 		}
 	}
@@ -440,14 +509,22 @@ func (e *Simulator) emit(ev TraceEvent) {
 }
 
 // processEnd handles the termination of task i at time t (Algorithm 2
-// lines 17–20): release the processors, then redistribute them according
-// to the end-of-task heuristic.
+// lines 17–20): release the processors, then redistribute them. Waiting
+// jobs have priority over the end-of-task heuristic — freed processors
+// admit them first (minimizing queue wait), and an end event that admits
+// jobs triggers the arrival hook instead of the end hook, since the
+// newcomers change the landscape the end rule was designed for.
 func (e *Simulator) processEnd(i int, t float64) {
 	e.ctr.Events++
 	e.ctr.TaskEnds++
 	e.now = t
 	e.finalize(i, t)
+	admitted := e.admit(t)
 	if e.live == 0 {
+		return
+	}
+	if len(admitted) > 0 {
+		e.arrivalDecision(t, admitted)
 		return
 	}
 	if e.endH != nil {
@@ -510,10 +587,11 @@ func (e *Simulator) processFault(f failure.Fault) {
 
 	// Algorithm 2 line 28: tasks that finish during the faulty task's
 	// downtime + recovery window are finalized now so their processors
-	// are available to the failure heuristic.
+	// are available to the failure heuristic. Waiting jobs have no end
+	// event (their zero end is not a finish time) and are skipped.
 	for k := range e.st {
 		ks := &e.st[k]
-		if k != owner && !ks.done && ks.end <= s.tlastR {
+		if k != owner && !ks.done && !ks.waiting && ks.end <= s.tlastR {
 			e.finalize(k, ks.end)
 			e.ctr.EarlyFinalized++
 		}
@@ -552,13 +630,21 @@ func (e *Simulator) processFault(f failure.Fault) {
 			Redistributed:     redistributed,
 		})
 	}
+
+	// Early finalizations may have freed processors beyond what the
+	// failure heuristic claimed; admit waiting jobs with the remainder
+	// (after the failure response, which keeps the paper's semantics).
+	if admitted := e.admit(t); len(admitted) > 0 {
+		e.arrivalDecision(t, admitted)
+	}
 }
 
-// maxLiveTU returns the largest expected finish time among live tasks.
+// maxLiveTU returns the largest expected finish time among live tasks
+// (waiting jobs have no meaningful tU yet and are skipped).
 func (e *Simulator) maxLiveTU() float64 {
 	worst := math.Inf(-1)
 	for i := range e.st {
-		if !e.st[i].done && e.st[i].tU > worst {
+		if !e.st[i].done && !e.st[i].waiting && e.st[i].tU > worst {
 			worst = e.st[i].tU
 		}
 	}
@@ -570,6 +656,9 @@ func (e *Simulator) maxLiveTU() float64 {
 func (e *Simulator) predictedMakespan() float64 {
 	worst := 0.0
 	for i := range e.st {
+		if e.st[i].waiting {
+			continue
+		}
 		v := e.st[i].tU
 		if e.st[i].done {
 			v = e.st[i].finish
@@ -582,11 +671,11 @@ func (e *Simulator) predictedMakespan() float64 {
 }
 
 // allocStdDev is the population standard deviation of live allocations
-// (Figure 9b).
+// (Figure 9b). Waiting jobs hold no processors and are excluded.
 func (e *Simulator) allocStdDev() float64 {
 	var acc stats.Accumulator
 	for i := range e.st {
-		if !e.st[i].done {
+		if !e.st[i].done && !e.st[i].waiting {
 			acc.Add(float64(e.st[i].sigma))
 		}
 	}
@@ -603,6 +692,7 @@ func (e *Simulator) commitRedist(i int, t float64, newSigma int, alphaT float64,
 	if newSigma == oldSigma {
 		return nil
 	}
+	e.accrueBusy(t)
 	if _, _, err := e.plat.Resize(i, newSigma); err != nil {
 		return fmt.Errorf("core: redistributing task %d: %w", i, err)
 	}
@@ -652,9 +742,13 @@ func (e *Simulator) check() error {
 	total := 0
 	for i := range e.st {
 		s := &e.st[i]
-		if s.done {
+		if s.done || s.waiting {
+			state := "finished"
+			if s.waiting {
+				state = "waiting"
+			}
 			if e.plat.Count(i) != 0 {
-				return fmt.Errorf("core: finished task %d still owns processors", i)
+				return fmt.Errorf("core: %s task %d still owns processors", state, i)
 			}
 			continue
 		}

@@ -207,7 +207,7 @@ func TestSemanticsAgreeFaultFree(t *testing.T) {
 	// With λ=0, t^R(α) = α·t = the deterministic fault-free time, so both
 	// semantics must produce identical schedules.
 	in := Instance{Tasks: synthPack(7, rng.New(14)), P: 30, Res: model.Resilience{}}
-	for _, pol := range []Policy{NoRedistribution, Policy{OnEnd: EndLocal}, Policy{OnEnd: EndGreedy}} {
+	for _, pol := range []Policy{NoRedistribution, {OnEnd: EndLocal}, {OnEnd: EndGreedy}} {
 		exp := mustRun(t, in, pol, nil, Options{Semantics: SemanticsExpected})
 		det := mustRun(t, in, pol, nil, Options{Semantics: SemanticsDeterministic})
 		if math.Abs(exp.Makespan-det.Makespan) > 1e-9*exp.Makespan {

@@ -292,11 +292,18 @@ type shortestTasksFirstRule struct{}
 func (shortestTasksFirstRule) Name() string { return "ShortestTasksFirst" }
 
 func (shortestTasksFirstRule) RedistributeFail(d *Decision, faulty int) {
-	f := faulty
-	if !d.IsEligible(f) {
+	if !d.IsEligible(faulty) {
 		return
 	}
+	absorbAndSteal(d, faulty)
+}
 
+// absorbAndSteal is the body of Algorithm 4, shared by the failure-time
+// rule (ShortestTasksFirst, f = the faulty task) and the arrival-time
+// rule (ArrivalSteal, f = a just-admitted job): grow f from the free
+// pool while that improves it, then transfer pairs from the shortest
+// tasks as long as f improves and no donor becomes the new bottleneck.
+func absorbAndSteal(d *Decision, f int) {
 	// Phase 1 (lines 12–25): absorb free processors, smallest improving
 	// even increment first, repeatedly.
 	k := d.avail

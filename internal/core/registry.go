@@ -30,6 +30,17 @@ type FailHeuristic interface {
 	RedistributeFail(d *Decision, faulty int)
 }
 
+// ArrivalHeuristic redistributes processors when newly arrived jobs are
+// admitted (online mode). The kernel has already placed each admitted
+// job via greedy insertion from the free pool; the heuristic may then
+// rebalance running tasks around the newcomers through the Decision API.
+// arrived lists the just-admitted task indices in admission order; the
+// slice is scratch — do not retain it.
+type ArrivalHeuristic interface {
+	Name() string
+	RedistributeArrival(d *Decision, arrived []int)
+}
+
 // registry holds the EndRule/FailRule dispatch tables. The paper's rules
 // occupy the fixed low ids (the historical iota values), so existing
 // Policy literals, scenario specs and fingerprints are untouched;
@@ -38,10 +49,13 @@ var registry = struct {
 	sync.RWMutex
 	end      map[EndRule]EndHeuristic
 	fail     map[FailRule]FailHeuristic
-	endIDs   []EndRule  // registration order
-	failIDs  []FailRule // registration order
+	arrival  map[ArrivalRule]ArrivalHeuristic
+	endIDs   []EndRule     // registration order
+	failIDs  []FailRule    // registration order
+	arrIDs   []ArrivalRule // registration order
 	nextEnd  EndRule
 	nextFail FailRule
+	nextArr  ArrivalRule
 }{
 	// The paper's rules are seeded here, in the var initializer rather
 	// than an init func, so that package-level RegisterEndHeuristic
@@ -54,17 +68,23 @@ var registry = struct {
 		FailShortestTasksFirst: shortestTasksFirstRule{},
 		FailIteratedGreedy:     iteratedGreedyRule{},
 	},
+	// The paper has no arrival rules (its setting is offline); the
+	// online extensions all arrive through RegisterArrivalHeuristic.
+	arrival:  map[ArrivalRule]ArrivalHeuristic{},
 	endIDs:   []EndRule{EndNone, EndLocal, EndGreedy},
 	failIDs:  []FailRule{FailNone, FailShortestTasksFirst, FailIteratedGreedy},
+	arrIDs:   []ArrivalRule{ArrivalNone},
 	nextEnd:  endRuleBuiltins,
 	nextFail: failRuleBuiltins,
+	nextArr:  arrivalRuleBuiltins,
 }
 
 // checkRuleName enforces the composition grammar on registered names:
-// Policy.String() joins "<fail>-<end>" with a hyphen and PolicyByName
-// splits by full-string match over the cross product, so a name with a
-// hyphen (or a reserved pseudo-name) could make two distinct policies
-// render identically and resolve ambiguously.
+// Policy.String() joins "<fail>-<end>" with a hyphen (plus "+<arrival>"
+// for online policies) and PolicyByName splits by full-string match over
+// the cross product, so a name with a separator (or a reserved
+// pseudo-name) could make two distinct policies render identically and
+// resolve ambiguously.
 func checkRuleName(name string) {
 	if name == "" {
 		panic("core: heuristic with empty name")
@@ -72,8 +92,11 @@ func checkRuleName(name string) {
 	if strings.Contains(name, "-") {
 		panic(fmt.Sprintf("core: heuristic name %q must not contain '-' (it is the policy-composition separator)", name))
 	}
+	if strings.Contains(name, "+") {
+		panic(fmt.Sprintf("core: heuristic name %q must not contain '+' (it is the arrival-composition separator)", name))
+	}
 	switch name {
-	case "EndNone", "FailNone", "NoRedistribution":
+	case "EndNone", "FailNone", "ArrivalNone", "NoRedistribution":
 		panic(fmt.Sprintf("core: heuristic name %q is reserved", name))
 	}
 }
@@ -117,6 +140,24 @@ func RegisterFailHeuristic(h FailHeuristic) FailRule {
 	return r
 }
 
+// RegisterArrivalHeuristic adds a new arrival rule to the registry and
+// returns its ArrivalRule id. It panics on duplicate or malformed names.
+func RegisterArrivalHeuristic(h ArrivalHeuristic) ArrivalRule {
+	checkRuleName(h.Name())
+	registry.Lock()
+	defer registry.Unlock()
+	for _, other := range registry.arrival {
+		if other.Name() == h.Name() {
+			panic(fmt.Sprintf("core: arrival heuristic %q already registered", h.Name()))
+		}
+	}
+	r := registry.nextArr
+	registry.nextArr++
+	registry.arrival[r] = h
+	registry.arrIDs = append(registry.arrIDs, r)
+	return r
+}
+
 // endHeuristic returns the heuristic bound to r, or nil (EndNone and
 // unknown ids have none).
 func endHeuristic(r EndRule) (EndHeuristic, bool) {
@@ -139,19 +180,33 @@ func failHeuristic(r FailRule) (FailHeuristic, bool) {
 	return h, ok
 }
 
-// resolveHeuristics maps a Policy to its registered heuristic pair. It is
-// evaluated once per Simulator.Reset, so dispatch inside the event loop
-// is a plain interface call.
-func resolveHeuristics(p Policy) (EndHeuristic, FailHeuristic, error) {
+func arrivalHeuristic(r ArrivalRule) (ArrivalHeuristic, bool) {
+	if r == ArrivalNone {
+		return nil, true
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	h, ok := registry.arrival[r]
+	return h, ok
+}
+
+// resolveHeuristics maps a Policy to its registered heuristic triple. It
+// is evaluated once per Simulator.Reset, so dispatch inside the event
+// loop is a plain interface call.
+func resolveHeuristics(p Policy) (EndHeuristic, FailHeuristic, ArrivalHeuristic, error) {
 	endH, ok := endHeuristic(p.OnEnd)
 	if !ok {
-		return nil, nil, fmt.Errorf("core: policy %v uses unregistered end rule %d", p, int(p.OnEnd))
+		return nil, nil, nil, fmt.Errorf("core: policy %v uses unregistered end rule %d", p, int(p.OnEnd))
 	}
 	failH, ok := failHeuristic(p.OnFailure)
 	if !ok {
-		return nil, nil, fmt.Errorf("core: policy %v uses unregistered fail rule %d", p, int(p.OnFailure))
+		return nil, nil, nil, fmt.Errorf("core: policy %v uses unregistered fail rule %d", p, int(p.OnFailure))
 	}
-	return endH, failH, nil
+	arrH, ok := arrivalHeuristic(p.OnArrival)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("core: policy %v uses unregistered arrival rule %d", p, int(p.OnArrival))
+	}
+	return endH, failH, arrH, nil
 }
 
 // endRuleName returns the registered name of r ("" when unknown).
@@ -180,6 +235,39 @@ func failRuleName(r FailRule) string {
 	return ""
 }
 
+// arrivalRuleName returns the registered name of r ("" when unknown).
+func arrivalRuleName(r ArrivalRule) string {
+	if r == ArrivalNone {
+		return "ArrivalNone"
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	if h, ok := registry.arrival[r]; ok {
+		return h.Name()
+	}
+	return ""
+}
+
+// ArrivalRuleByName resolves a registered arrival rule name, plus the
+// pseudo-name "ArrivalNone". Scenario specs use it to attach an arrival
+// rule to every policy of an online campaign.
+func ArrivalRuleByName(name string) (ArrivalRule, bool) {
+	if name == "ArrivalNone" {
+		return ArrivalNone, true
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	for _, r := range registry.arrIDs {
+		if r == ArrivalNone {
+			continue
+		}
+		if registry.arrival[r].Name() == name {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
 // ruleIDs snapshots the registered rule ids under the read lock, so the
 // callers below can compose Policy names lock-free (Policy.String()
 // itself takes the read lock, and sync.RWMutex read locks must not
@@ -193,19 +281,31 @@ func ruleIDs() (ends []EndRule, fails []FailRule) {
 }
 
 // PolicyByName resolves a canonical policy name — "NoRedistribution" or
-// any "<fail>-<end>" composition of registered rule names, exactly the
-// strings Policy.String() produces. This is how scenario specs and CLI
-// flags reach registered heuristics without the core having to know
-// them.
+// any "<fail>-<end>" composition of registered rule names, optionally
+// suffixed "+<arrival>" for online policies — exactly the strings
+// Policy.String() produces. This is how scenario specs and CLI flags
+// reach registered heuristics without the core having to know them.
 func PolicyByName(name string) (Policy, bool) {
-	if name == NoRedistribution.String() {
-		return NoRedistribution, true
+	base, arrName, hasArr := strings.Cut(name, "+")
+	var ar ArrivalRule
+	if hasArr {
+		r, ok := ArrivalRuleByName(arrName)
+		if !ok || r == ArrivalNone {
+			// ArrivalNone is the zero value; Policy.String() never emits
+			// a "+ArrivalNone" suffix, so it does not parse either.
+			return Policy{}, false
+		}
+		ar = r
+	}
+	if base == "NoRedistribution" {
+		return Policy{OnArrival: ar}, true
 	}
 	ends, fails := ruleIDs()
 	for _, fr := range fails {
 		for _, er := range ends {
 			p := Policy{OnEnd: er, OnFailure: fr}
-			if p.String() == name {
+			if fmt.Sprintf("%s-%s", p.OnFailure, p.OnEnd) == base && !(er == EndNone && fr == FailNone) {
+				p.OnArrival = ar
 				return p, true
 			}
 		}
@@ -256,6 +356,23 @@ func FailRules() []string {
 			names = append(names, "FailNone")
 		} else {
 			names = append(names, registry.fail[r].Name())
+		}
+	}
+	return names
+}
+
+// ArrivalRules lists the registered arrival rule names (ArrivalNone
+// first, then registration order). Any "<fail>-<end>" policy name may be
+// suffixed with "+<rule>" for the non-None rules.
+func ArrivalRules() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.arrIDs))
+	for _, r := range registry.arrIDs {
+		if r == ArrivalNone {
+			names = append(names, "ArrivalNone")
+		} else {
+			names = append(names, registry.arrival[r].Name())
 		}
 	}
 	return names

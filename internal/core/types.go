@@ -12,17 +12,24 @@
 //   - EndGreedy — full schedule recomputation at task terminations;
 //   - Algorithm 4 — ShortestTasksFirst, failure-time stealing;
 //   - Algorithm 5 — IteratedGreedy, full recomputation at failures;
-//   - a policy registry (EndHeuristic/FailHeuristic) dispatching the
-//     rules above and extensions such as EndProportional, keyed by the
-//     stable Policy.String() names.
+//   - a policy registry (EndHeuristic/FailHeuristic/ArrivalHeuristic)
+//     dispatching the rules above and extensions such as EndProportional,
+//     ArrivalGreedy and ArrivalSteal, keyed by the stable
+//     Policy.String() names;
+//   - the online kernel (online.go): dynamic job arrivals via Submit
+//     events, FIFO admission with greedy insertion, and arrival-aware
+//     redistribution — the offline paper setting is the zero-Arrivals
+//     special case and stays bit-identical.
 //
 // See DESIGN.md §5 for the documented resolutions of the pseudocode's
-// ambiguities (D+R accounting, busy-task exclusion, loop termination)
-// and DESIGN.md §7 for the registry and the simulator-reuse contract.
+// ambiguities (D+R accounting, busy-task exclusion, loop termination),
+// DESIGN.md §7 for the registry and the simulator-reuse contract, and
+// DESIGN.md §10 for the online kernel's contracts.
 package core
 
 import (
 	"fmt"
+	"math"
 
 	"cosched/internal/model"
 )
@@ -83,20 +90,51 @@ func (f FailRule) String() string {
 	return fmt.Sprintf("FailRule(%d)", int(f))
 }
 
-// Policy pairs an end-of-task rule with a failure rule. The paper's four
+// ArrivalRule selects what happens when newly arrived jobs are admitted
+// in online mode (dynamic job arrivals; not part of the paper, which is
+// offline). Rules come from RegisterArrivalHeuristic.
+type ArrivalRule int
+
+// ArrivalNone performs no redistribution at job arrivals: admitted jobs
+// receive free processors only (greedy insertion) and running tasks are
+// never touched. It is the zero value, so every pre-online Policy
+// literal keeps its exact behavior.
+const ArrivalNone ArrivalRule = 0
+
+// arrivalRuleBuiltins is where RegisterArrivalHeuristic ids start.
+const arrivalRuleBuiltins ArrivalRule = 1
+
+// String implements fmt.Stringer, consulting the registry for names.
+func (a ArrivalRule) String() string {
+	if name := arrivalRuleName(a); name != "" {
+		return name
+	}
+	return fmt.Sprintf("ArrivalRule(%d)", int(a))
+}
+
+// Policy pairs an end-of-task rule with a failure rule — the paper's four
 // heuristic combinations are IteratedGreedy/ShortestTasksFirst crossed
-// with EndGreedy/EndLocal.
+// with EndGreedy/EndLocal — plus, for online scenarios, an arrival rule.
+// The zero OnArrival keeps the offline combinations' names and behavior
+// untouched.
 type Policy struct {
 	OnEnd     EndRule
 	OnFailure FailRule
+	OnArrival ArrivalRule
 }
 
-// String implements fmt.Stringer, using the paper's naming convention.
+// String implements fmt.Stringer, using the paper's naming convention
+// ("<fail>-<end>", or "NoRedistribution") with an optional "+<arrival>"
+// suffix for online policies. PolicyByName inverts it.
 func (p Policy) String() string {
+	base := fmt.Sprintf("%s-%s", p.OnFailure, p.OnEnd)
 	if p.OnEnd == EndNone && p.OnFailure == FailNone {
-		return "NoRedistribution"
+		base = "NoRedistribution"
 	}
-	return fmt.Sprintf("%s-%s", p.OnFailure, p.OnEnd)
+	if p.OnArrival == ArrivalNone {
+		return base
+	}
+	return base + "+" + p.OnArrival.String()
 }
 
 // Named policy combinations from the paper's evaluation (§6.2).
@@ -139,7 +177,7 @@ func (s Semantics) String() string {
 // redistribution events; Proc only for fault events.
 type TraceEvent struct {
 	Time float64 `json:"t"`
-	Kind string  `json:"kind"` // failure | suppressed | idle | end | redistribute
+	Kind string  `json:"kind"` // failure | suppressed | idle | end | redistribute | submit | admit
 	Task int     `json:"task"`
 	Proc int     `json:"proc,omitempty"`
 	From int     `json:"from,omitempty"` // σ before redistribution
@@ -177,6 +215,7 @@ type Counters struct {
 	TaskEnds        int     // task-end events processed
 	EarlyFinalized  int     // tasks finalized by Algorithm 2 line 28
 	Events          int     // total events processed
+	Submits         int     // submit events processed (online mode)
 }
 
 // Snapshot is one Figure-9 history point, taken after handling a failure.
@@ -188,15 +227,33 @@ type Snapshot struct {
 	Redistributed     bool // whether the failure policy changed any allocation
 }
 
-// Result is the outcome of one simulated execution.
+// Result is the outcome of one simulated execution. All per-task slices
+// are indexed by task: the base pack first (indices 0..n−1), then
+// arrived jobs in admission order.
 type Result struct {
-	Makespan  float64   // completion time of the last task
-	Finish    []float64 // per-task completion times
-	Sigma     []int     // final allocation at each task's completion
-	Counters  Counters
-	History   []Snapshot // non-nil only with Options.RecordHistory
-	Breakdown *Breakdown // non-nil only with Options.Accounting
+	Makespan float64   // completion time of the last task
+	Finish   []float64 // per-task completion times
+	Sigma    []int     // final allocation at each task's completion
+	// Arrive and Start are the per-task submission and admission times
+	// (both 0 for the base pack): response time is Finish−Arrive, queue
+	// wait is Start−Arrive.
+	Arrive []float64
+	Start  []float64
+	// ProcSeconds is ∫ Σ_i σ_i(t) dt, the busy processor-seconds of the
+	// run; utilization is ProcSeconds / (P · Makespan). Exact except
+	// across early-finalization windows (Algorithm 2 line 28), where the
+	// released allocation is accrued at its logical release time.
+	ProcSeconds float64
+	Counters    Counters
+	History     []Snapshot // non-nil only with Options.RecordHistory
+	Breakdown   *Breakdown // non-nil only with Options.Accounting
 }
+
+// Arrival is one dynamically arriving job of an online instance: a task
+// submitted at Time that queues until a processor pair is free. It is an
+// alias of model.Arrival so workload generators can produce schedules
+// without importing the engine.
+type Arrival = model.Arrival
 
 // Instance bundles the inputs of a run: the pack, the platform size and
 // the resilience parameters.
@@ -213,7 +270,13 @@ type Instance struct {
 	// and, across Resets with an unchanged instance, reuses — its own
 	// tables; a non-nil handle lets many simulators share one read-only
 	// model (the campaign runner's per-grid-point sharing, DESIGN.md §9).
+	// A shared handle cannot be combined with Arrivals: the online kernel
+	// appends per-arrival rows to its tables, which must stay private.
 	Compiled *model.Compiled
+	// Arrivals, when non-empty, switches the run to online mode: the
+	// simulation starts from the base pack and jobs arrive over time
+	// (non-decreasing Time), queueing until a processor pair frees up.
+	Arrivals []Arrival
 }
 
 // Validate checks that the instance is schedulable.
@@ -238,6 +301,22 @@ func (in Instance) Validate() error {
 		if t.Data < 0 || t.Ckpt < 0 {
 			return fmt.Errorf("core: task %d has negative data or checkpoint size", i)
 		}
+	}
+	prev := 0.0
+	for k, a := range in.Arrivals {
+		if a.Task.Profile == nil {
+			return fmt.Errorf("core: arrival %d has no speedup profile", k)
+		}
+		if a.Task.Data < 0 || a.Task.Ckpt < 0 {
+			return fmt.Errorf("core: arrival %d has negative data or checkpoint size", k)
+		}
+		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) || a.Time < 0 {
+			return fmt.Errorf("core: arrival %d has invalid time %v", k, a.Time)
+		}
+		if a.Time < prev {
+			return fmt.Errorf("core: arrivals must be sorted by time (arrival %d at %v after %v)", k, a.Time, prev)
+		}
+		prev = a.Time
 	}
 	return nil
 }

@@ -294,8 +294,12 @@ func SweepIDs() []string {
 // FigureScenario returns the declarative campaign spec of a sweep-style
 // figure: the same grid points and policies Sweep.Run would execute,
 // exported for cmd/campaign (e.g. `campaign -figure 8`), spec files, and
-// edited variants the paper never plotted.
+// edited variants the paper never plotted. The extra id "online" maps to
+// the online-regime demonstration study (OnlineScenario).
 func FigureScenario(id string, pr Params) (scenario.Spec, error) {
+	if id == "online" {
+		return OnlineScenario(pr)
+	}
 	sw, err := ByID(id, pr)
 	if err != nil {
 		return scenario.Spec{}, err

@@ -55,6 +55,11 @@ type Compiled struct {
 	tab    []compiledEntry
 	seg    []segKind // per-task silent-segment mode
 	data   []float64 // per-task data volume m_i (redistribution cost)
+	// extra holds tasks appended after the base compile (online mode:
+	// jobs arriving over time get their rows appended, not a rebuild).
+	// It is owned by the Compiled — AppendTask copies the task value —
+	// so the base identity contract of Matches is untouched.
+	extra []Task
 }
 
 // Compile builds the tables for one instance. p is the platform size: the
@@ -106,49 +111,117 @@ func (c *Compiled) Recompile(tasks []Task, res Resilience, rc CostModel, p int) 
 	}
 	c.data = c.data[:n]
 
+	c.extra = c.extra[:0]
 	for i, t := range tasks {
-		c.data[i] = t.Data
-		switch {
-		case res.SilentActive():
-			c.seg[i] = segSilent
-		case t.Verify != 0:
-			c.seg[i] = segVerify
-		default:
-			c.seg[i] = segPlain
-		}
-		row := c.tab[i*c.stride : (i+1)*c.stride]
-		for k := range row {
-			j := 2 * (k + 1)
-			en := &row[k]
-			en.tj = t.Time(j)
-			en.ck = res.CkptCost(t, j)
-			en.rec = res.Recovery(t, j)
-			en.tau = res.Period(t, j)
-			en.work = en.tau - en.ck
-			en.v = res.VerifyCost(t, j)
-			en.slj = res.SilentLambda * float64(j)
-			if res.Lambda == 0 {
-				// Fault-free limit: only tj matters (tau/work are +Inf,
-				// RawAt never reads the failure terms).
-				continue
-			}
-			en.lj = res.Rate(j)
-			// Same combination order as ExpectedTimeRaw: the prefactor is
-			// Exp(λjR)·(1/λj + D), and the period term is Expm1 of λj
-			// times the (possibly silent-inflated) period.
-			en.prefac = math.Exp(en.lj*en.rec) * (1/en.lj + res.Downtime)
-			en.expPer = math.Expm1(en.lj * (res.silentSegment(t, j, en.work) + en.ck))
-		}
+		c.compileTask(i, t)
 	}
 	return nil
+}
+
+// compileTask fills task slot i's seg/data metadata and table row from t.
+// It is the single per-task compile path, shared by Recompile and
+// AppendTask, so appended rows combine exactly the same float64 values in
+// exactly the same order as a full rebuild (bit-identical tables).
+func (c *Compiled) compileTask(i int, t Task) {
+	res := c.res
+	c.data[i] = t.Data
+	switch {
+	case res.SilentActive():
+		c.seg[i] = segSilent
+	case t.Verify != 0:
+		c.seg[i] = segVerify
+	default:
+		c.seg[i] = segPlain
+	}
+	row := c.tab[i*c.stride : (i+1)*c.stride]
+	for k := range row {
+		j := 2 * (k + 1)
+		en := &row[k]
+		en.tj = t.Time(j)
+		en.ck = res.CkptCost(t, j)
+		en.rec = res.Recovery(t, j)
+		en.tau = res.Period(t, j)
+		en.work = en.tau - en.ck
+		en.v = res.VerifyCost(t, j)
+		en.slj = res.SilentLambda * float64(j)
+		if res.Lambda == 0 {
+			// Fault-free limit: only tj matters (tau/work are +Inf,
+			// RawAt never reads the failure terms).
+			continue
+		}
+		en.lj = res.Rate(j)
+		// Same combination order as ExpectedTimeRaw: the prefactor is
+		// Exp(λjR)·(1/λj + D), and the period term is Expm1 of λj
+		// times the (possibly silent-inflated) period.
+		en.prefac = math.Exp(en.lj*en.rec) * (1/en.lj + res.Downtime)
+		en.expPer = math.Expm1(en.lj * (res.silentSegment(t, j, en.work) + en.ck))
+	}
+}
+
+// AppendTask extends the tables with one more task — the online kernel's
+// per-arrival path: O(stride) work instead of a full rebuild. The task
+// value is copied into Compiled-owned storage, so the base Tasks slice
+// (and the Matches identity contract over it) is untouched. It returns
+// the appended task's index.
+func (c *Compiled) AppendTask(t Task) (int, error) {
+	if len(c.tab) == 0 {
+		return 0, fmt.Errorf("model: AppendTask on an empty Compiled (compile a base instance first)")
+	}
+	if t.Profile == nil {
+		return 0, fmt.Errorf("model: appended task has no speedup profile")
+	}
+	i := c.NumTasks()
+	c.extra = append(c.extra, t)
+	// Grow the row without a temporary: compileTask overwrites every
+	// field it reads (stale failure terms in reused capacity are never
+	// read when λ = 0, the same contract Recompile relies on).
+	if need := len(c.tab) + c.stride; cap(c.tab) >= need {
+		c.tab = c.tab[:need]
+	} else {
+		c.tab = append(c.tab, make([]compiledEntry, c.stride)...)
+	}
+	c.seg = append(c.seg, 0)
+	c.data = append(c.data, 0)
+	c.compileTask(i, t)
+	return i, nil
+}
+
+// TruncateExtra drops every appended task, restoring the tables to the
+// base instance they were compiled for (the rows of appended tasks sit
+// strictly after the base rows, so this is a length change, not a
+// rebuild). An online simulator calls it between runs so the base tables
+// survive the replicate loop without recompiling.
+func (c *Compiled) TruncateExtra() {
+	if len(c.extra) == 0 {
+		return
+	}
+	n := len(c.tasks)
+	c.tab = c.tab[:n*c.stride]
+	c.seg = c.seg[:n]
+	c.data = c.data[:n]
+	c.extra = c.extra[:0]
+}
+
+// NumTasks returns the number of tasks covered by the tables, including
+// appended ones.
+func (c *Compiled) NumTasks() int { return len(c.tasks) + len(c.extra) }
+
+// task returns task i, reading appended tasks from the extension arena.
+func (c *Compiled) task(i int) Task {
+	if i < len(c.tasks) {
+		return c.tasks[i]
+	}
+	return c.extra[i-len(c.tasks)]
 }
 
 // Matches reports whether the compiled tables were built for exactly this
 // instance. Task identity is the slice header (same backing array), not
 // deep content: callers that mutate task contents in place must recompile
-// explicitly. Parameters compare by value.
+// explicitly. Parameters compare by value. Tables carrying appended tasks
+// (AppendTask without a TruncateExtra) never match: they describe a grown
+// instance, not the base one.
 func (c *Compiled) Matches(tasks []Task, res Resilience, rc CostModel, p int) bool {
-	return len(c.tab) > 0 &&
+	return len(c.tab) > 0 && len(c.extra) == 0 &&
 		len(tasks) == len(c.tasks) &&
 		len(tasks) > 0 && &tasks[0] == &c.tasks[0] &&
 		res == c.res && rc == c.rc && p == c.p
@@ -183,7 +256,7 @@ func (c *Compiled) covered(j int) bool {
 // Resilience.ExpectedTimeRaw(task i, j, α), from the tables.
 func (c *Compiled) RawAt(i, j int, alpha float64) float64 {
 	if !c.covered(j) {
-		return c.res.ExpectedTimeRaw(c.tasks[i], j, alpha)
+		return c.res.ExpectedTimeRaw(c.task(i), j, alpha)
 	}
 	if alpha <= 0 {
 		return 0
@@ -216,7 +289,7 @@ func (c *Compiled) RawAt(i, j int, alpha float64) float64 {
 // Time returns t_{i,j} (Task.Time of task i).
 func (c *Compiled) Time(i, j int) float64 {
 	if !c.covered(j) {
-		return c.tasks[i].Time(j)
+		return c.task(i).Time(j)
 	}
 	return c.entry(i, j).tj
 }
@@ -224,7 +297,7 @@ func (c *Compiled) Time(i, j int) float64 {
 // Period returns τ_{i,j} (Resilience.Period).
 func (c *Compiled) Period(i, j int) float64 {
 	if !c.covered(j) {
-		return c.res.Period(c.tasks[i], j)
+		return c.res.Period(c.task(i), j)
 	}
 	return c.entry(i, j).tau
 }
@@ -232,7 +305,7 @@ func (c *Compiled) Period(i, j int) float64 {
 // CkptCost returns C_{i,j} (Resilience.CkptCost).
 func (c *Compiled) CkptCost(i, j int) float64 {
 	if !c.covered(j) {
-		return c.res.CkptCost(c.tasks[i], j)
+		return c.res.CkptCost(c.task(i), j)
 	}
 	return c.entry(i, j).ck
 }
@@ -240,7 +313,7 @@ func (c *Compiled) CkptCost(i, j int) float64 {
 // Recovery returns R_{i,j} (Resilience.Recovery).
 func (c *Compiled) Recovery(i, j int) float64 {
 	if !c.covered(j) {
-		return c.res.Recovery(c.tasks[i], j)
+		return c.res.Recovery(c.task(i), j)
 	}
 	return c.entry(i, j).rec
 }
@@ -257,7 +330,7 @@ func (c *Compiled) PostRedistCkpt(i, j int) float64 {
 // FFCheckpoints returns N^ff_{i,j}(α) (Resilience.FFCheckpoints).
 func (c *Compiled) FFCheckpoints(i, j int, alpha float64) int {
 	if !c.covered(j) {
-		return c.res.FFCheckpoints(c.tasks[i], j, alpha)
+		return c.res.FFCheckpoints(c.task(i), j, alpha)
 	}
 	if alpha <= 0 || c.res.Lambda == 0 {
 		return 0
@@ -270,7 +343,7 @@ func (c *Compiled) FFCheckpoints(i, j int, alpha float64) int {
 // checkpoints (Resilience.FFTime).
 func (c *Compiled) FFTime(i, j int, alpha float64) float64 {
 	if !c.covered(j) {
-		return c.res.FFTime(c.tasks[i], j, alpha)
+		return c.res.FFTime(c.task(i), j, alpha)
 	}
 	if alpha <= 0 {
 		return 0

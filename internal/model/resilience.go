@@ -230,3 +230,11 @@ func (r Resilience) ExpectedTime(t Task, j int, alpha float64) float64 {
 	e := NewMinEval(r, t, alpha)
 	return e.At(j)
 }
+
+// Arrival is one dynamically arriving job of an online instance: a task
+// submitted at Time. The simulation core consumes sorted schedules of
+// these (core.Instance.Arrivals); workload generators produce them.
+type Arrival struct {
+	Time float64
+	Task Task
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// exampleFingerprints pins the canonical fingerprint of every JSON spec
+// shipped under examples/. Together with the precision-absent pin in
+// internal/campaign (TestAdaptiveGoldenEquivalence), this is the
+// backward-compatibility guard for schema growth: adding a field (the
+// arrivals block, say) must not change how existing specs parse,
+// re-encode, or fingerprint — or every recorded manifest would be
+// refused on resume. Update an entry only for a deliberate, documented
+// schema break (regenerate with COSCHED_UPDATE_GOLDEN=1).
+var exampleFingerprints = map[string]string{
+	"online-batch.json":   "9579b380018dec6a",
+	"online-poisson.json": "9427c5f3bb53d11f",
+}
+
+func TestExampleSpecFingerprints(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found []string
+	got := map[string]string{}
+	for _, en := range entries {
+		if en.IsDir() || filepath.Ext(en.Name()) != ".json" {
+			continue
+		}
+		found = append(found, en.Name())
+		f, err := os.Open(filepath.Join(dir, en.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := Decode(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("examples/%s no longer parses: %v", en.Name(), err)
+		}
+		fp, err := sp.Fingerprint()
+		if err != nil {
+			t.Fatalf("examples/%s no longer fingerprints: %v", en.Name(), err)
+		}
+		got[en.Name()] = fmt.Sprintf("%016x", fp)
+		if _, err := sp.Expand(); err != nil {
+			t.Fatalf("examples/%s no longer expands: %v", en.Name(), err)
+		}
+		if _, err := sp.PolicySpecs(); err != nil {
+			t.Fatalf("examples/%s policies no longer resolve: %v", en.Name(), err)
+		}
+	}
+	if os.Getenv("COSCHED_UPDATE_GOLDEN") != "" {
+		sort.Strings(found)
+		for _, name := range found {
+			fmt.Printf("\t%q: %q,\n", name, got[name])
+		}
+		t.Skip("printed fresh fingerprints")
+	}
+	if len(found) != len(exampleFingerprints) {
+		t.Fatalf("examples/ holds %d specs %v, the golden table %d — update exampleFingerprints",
+			len(found), found, len(exampleFingerprints))
+	}
+	for name, want := range exampleFingerprints {
+		if got[name] != want {
+			t.Fatalf("examples/%s fingerprint changed: %s, pinned %s — schema break?", name, got[name], want)
+		}
+	}
+}

@@ -39,9 +39,21 @@ func FuzzScenarioRoundTrip(f *testing.F) {
 	adaptive.Points = []Point{{X: 1, Set: map[string]float64{ParamMTBF: 5}}}
 	adaptive.Precision = &PrecisionSpec{RelHalfWidth: 0.05, MaxReplicates: 64, Batch: 4}
 	seed(adaptive)
+	online := base
+	online.Arrivals = &workload.ArrivalSpec{
+		Process: workload.ArrivalPoisson, Count: 8, Rate: 1e-4, Rule: "steal",
+	}
+	seed(online)
+	onlineBatch := adaptive
+	onlineBatch.Arrivals = &workload.ArrivalSpec{
+		Process: workload.ArrivalBatch, Count: 6, Interval: 3600, BatchSize: 2, Jitter: 60, Rule: "greedy",
+	}
+	seed(onlineBatch)
 	f.Add([]byte(`{"name":"x"}`))
 	f.Add([]byte(`{"replicas":3}`))
 	f.Add([]byte(`{"name":"x","workload":{"n":1,"p":2,"minf":2,"msup":3},"policies":["norc"],"replicates":1,"seed":0}`))
+	f.Add([]byte(`{"name":"x","workload":{"n":1,"p":2,"minf":2,"msup":3},"policies":["norc"],"replicates":1,"seed":0,"arrivals":{"process":"trace","trace":"/nonexistent"}}`))
+	f.Add([]byte(`{"name":"x","workload":{"n":1,"p":2,"minf":2,"msup":3},"policies":["norc"],"replicates":1,"seed":0,"arrivals":{"process":"poisson"}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sp, err := Decode(bytes.NewReader(data))

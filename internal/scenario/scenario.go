@@ -165,6 +165,13 @@ type Spec struct {
 	Precision *PrecisionSpec `json:"precision,omitempty"`
 	// Semantics is "" or "expected" (paper-faithful) or "deterministic".
 	Semantics string `json:"semantics,omitempty"`
+	// Arrivals, when set, switches the campaign to the online regime:
+	// every unit submits dynamically arriving jobs on top of the base
+	// pack, the block's rule attaches an arrival heuristic to every
+	// policy, and per-job metrics (response, stretch, wait, utilization)
+	// are folded alongside the makespan. Absent ⇒ the offline paper
+	// setting, bit-identical to pre-online campaigns (golden-pinned).
+	Arrivals *workload.ArrivalSpec `json:"arrivals,omitempty"`
 
 	// Axes expands into the cartesian product of its values (first axis
 	// outermost; its value is the point's x-coordinate). Points lists
@@ -346,9 +353,38 @@ func FprintPolicies(w io.Writer) {
 	}
 	fmt.Fprintf(w, "registered end rules:  %s\n", strings.Join(core.EndRules(), ", "))
 	fmt.Fprintf(w, "registered fail rules: %s\n", strings.Join(core.FailRules(), ", "))
+	fmt.Fprintf(w, "registered arrival rules (append \"+<rule>\" to a composition, online mode): %s\n",
+		strings.Join(core.ArrivalRules(), ", "))
 }
 
-// PolicySpecs resolves the spec's policy list, applying Labels.
+// Online reports whether the spec describes an online (dynamic-arrival)
+// campaign.
+func (s Spec) Online() bool { return s.Arrivals != nil }
+
+// ParseArrivalRule resolves an arrival-rule name from a spec or CLI
+// flag: the short aliases "steal" (the default for ""), "greedy" and
+// "none", or any registered heuristic name (core.ArrivalRuleByName).
+func ParseArrivalRule(name string) (core.ArrivalRule, error) {
+	switch strings.ToLower(name) {
+	case "", "steal":
+		return core.ArrivalSteal, nil
+	case "greedy":
+		return core.ArrivalGreedy, nil
+	case "none":
+		return core.ArrivalNone, nil
+	}
+	if r, ok := core.ArrivalRuleByName(name); ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown arrival rule %q (want none, greedy, steal or a registered name)", name)
+}
+
+// PolicySpecs resolves the spec's policy list, applying Labels. For
+// online specs (an arrivals block is present) the block's arrival rule
+// is attached to every policy that does not already carry one, so
+// "ig-el" in an online spec means IteratedGreedy-EndLocal plus the
+// scenario's arrival heuristic; names, labels and fingerprints are
+// untouched.
 func (s Spec) PolicySpecs() ([]PolicySpec, error) {
 	if len(s.Policies) == 0 {
 		return nil, fmt.Errorf("scenario: %s lists no policies", s.ident())
@@ -357,12 +393,23 @@ func (s Spec) PolicySpecs() ([]PolicySpec, error) {
 		return nil, fmt.Errorf("scenario: %s has %d labels for %d policies",
 			s.ident(), len(s.Labels), len(s.Policies))
 	}
+	var arrivalRule core.ArrivalRule
+	if s.Arrivals != nil {
+		var err error
+		arrivalRule, err = ParseArrivalRule(s.Arrivals.Rule)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.ident(), err)
+		}
+	}
 	out := make([]PolicySpec, len(s.Policies))
 	seen := map[string]bool{}
 	for i, name := range s.Policies {
 		ps, err := ParsePolicy(name)
 		if err != nil {
 			return nil, err
+		}
+		if s.Arrivals != nil && ps.Policy.OnArrival == core.ArrivalNone {
+			ps.Policy.OnArrival = arrivalRule
 		}
 		if len(s.Labels) != 0 {
 			ps.Label = s.Labels[i]
@@ -504,6 +551,11 @@ func (s Spec) Validate() error {
 	if s.Precision != nil {
 		if err := s.Precision.validate(s.ident()); err != nil {
 			return err
+		}
+	}
+	if s.Arrivals != nil {
+		if err := s.Arrivals.Validate(); err != nil {
+			return fmt.Errorf("scenario: %s: %w", s.ident(), err)
 		}
 	}
 	pols, err := s.PolicySpecs()

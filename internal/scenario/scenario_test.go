@@ -294,3 +294,110 @@ func TestFingerprint(t *testing.T) {
 		t.Fatal("fingerprint ignores the seed")
 	}
 }
+
+// TestArrivalsRoundTrip pins the online schema: a spec carrying an
+// arrivals block round-trips losslessly, validates, attaches the block's
+// arrival rule to every policy, and changes its fingerprint — while the
+// same spec without the block keeps the offline policy set.
+func TestArrivalsRoundTrip(t *testing.T) {
+	w := workload.Default()
+	w.N = 3
+	w.P = 12
+	base := Spec{
+		Name:       "online-rt",
+		Workload:   w,
+		Policies:   []string{"norc", "ig-el"},
+		Replicates: 2,
+		Seed:       5,
+	}
+	online := base
+	online.Arrivals = &workload.ArrivalSpec{
+		Process: workload.ArrivalPoisson,
+		Count:   8,
+		Rate:    1e-4,
+		Rule:    "greedy",
+	}
+
+	var buf bytes.Buffer
+	if err := online.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Arrivals == nil || *back.Arrivals != *online.Arrivals {
+		t.Fatalf("arrivals block did not round-trip: %+v", back.Arrivals)
+	}
+
+	fpOff, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpOn, err := online.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpOff == fpOn {
+		t.Fatal("online and offline specs share a fingerprint")
+	}
+
+	pols, err := online.PolicySpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range pols {
+		if ps.Policy.OnArrival != core.ArrivalGreedy {
+			t.Fatalf("policy %s missing the scenario arrival rule: %+v", ps.Name, ps.Policy)
+		}
+	}
+	offPols, err := base.PolicySpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range offPols {
+		if ps.Policy.OnArrival != core.ArrivalNone {
+			t.Fatalf("offline policy %s grew an arrival rule: %+v", ps.Name, ps.Policy)
+		}
+	}
+
+	bad := online
+	bad.Arrivals = &workload.ArrivalSpec{Process: "bogus"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid arrivals block validated")
+	}
+}
+
+// TestArrivalCompositionPolicy pins that explicit "+<arrival>" registry
+// compositions parse from specs and survive the scenario block's default
+// (an explicit rule wins over the block's).
+func TestArrivalCompositionPolicy(t *testing.T) {
+	ps, err := ParsePolicy("IteratedGreedy-EndLocal+ArrivalGreedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Policy.OnArrival != core.ArrivalGreedy {
+		t.Fatalf("composition lost its arrival rule: %+v", ps.Policy)
+	}
+	w := workload.Default()
+	w.N = 2
+	w.P = 8
+	sp := Spec{
+		Name:       "explicit-arrival",
+		Workload:   w,
+		Policies:   []string{"IteratedGreedy-EndLocal+ArrivalGreedy", "ig-el"},
+		Replicates: 1,
+		Seed:       1,
+		Arrivals:   &workload.ArrivalSpec{Process: workload.ArrivalPoisson, Count: 2, Rate: 1e-4, Rule: "steal"},
+	}
+	pols, err := sp.PolicySpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pols[0].Policy.OnArrival != core.ArrivalGreedy {
+		t.Fatalf("explicit composition overridden by the block: %+v", pols[0].Policy)
+	}
+	if pols[1].Policy.OnArrival != core.ArrivalSteal {
+		t.Fatalf("alias policy missing the block rule: %+v", pols[1].Policy)
+	}
+}

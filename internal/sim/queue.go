@@ -1,7 +1,15 @@
 // Package sim provides the discrete-event simulation core: a binary-heap
 // event queue with deterministic tie-breaking and versioned (cancellable)
 // events. The co-scheduling engine (internal/core) drives its main loop
-// from this queue; failures and task terminations are both events.
+// from this queue; failures, task terminations and job submissions are
+// all events.
+//
+// Tie-break contract: events are ordered by (Time, seq), where seq is
+// the Push insertion order. Events scheduled at the same timestamp
+// therefore pop in FIFO order regardless of kind — a Submit pushed
+// before an End at the same instant is processed first, and vice versa.
+// This ordering is part of the engine's determinism contract and is
+// pinned by TestQueueEqualTimestampInterleave.
 package sim
 
 import (
@@ -17,6 +25,9 @@ const (
 	KindFailure Kind = iota
 	// KindTaskEnd is the (predicted) termination of a task.
 	KindTaskEnd
+	// KindSubmit is the arrival of a new job (online co-scheduling). For
+	// submit events Task carries the arrival index, not a task index.
+	KindSubmit
 )
 
 // String implements fmt.Stringer.
@@ -26,6 +37,8 @@ func (k Kind) String() string {
 		return "failure"
 	case KindTaskEnd:
 		return "task-end"
+	case KindSubmit:
+		return "submit"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

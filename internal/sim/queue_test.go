@@ -173,3 +173,63 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+// TestQueueEqualTimestampInterleave pins the package's tie-break
+// contract: events pushed at the same timestamp pop in FIFO (insertion)
+// order regardless of kind, interleaved arbitrarily with earlier and
+// later events. The online kernel's determinism at shared instants
+// (Submit vs End vs Failure) rests on exactly this order.
+func TestQueueEqualTimestampInterleave(t *testing.T) {
+	var q Queue
+	// Three events at t=10 in a deliberate kind mix, plus neighbors.
+	q.Push(Event{Time: 10, Kind: KindTaskEnd, Task: 0, Version: 1})
+	q.Push(Event{Time: 5, Kind: KindTaskEnd, Task: 1, Version: 1})
+	q.Push(Event{Time: 10, Kind: KindSubmit, Task: 2})
+	q.Push(Event{Time: 10, Kind: KindFailure, Task: 3, Proc: 7})
+	q.Push(Event{Time: 15, Kind: KindSubmit, Task: 4})
+	q.Push(Event{Time: 10, Kind: KindTaskEnd, Task: 5, Version: 3})
+
+	want := []struct {
+		time float64
+		kind Kind
+		task int
+	}{
+		{5, KindTaskEnd, 1},
+		{10, KindTaskEnd, 0}, // first pushed at t=10
+		{10, KindSubmit, 2},  // then the submit
+		{10, KindFailure, 3}, // then the failure
+		{10, KindTaskEnd, 5}, // last pushed at t=10
+		{15, KindSubmit, 4},
+	}
+	for i, w := range want {
+		ev, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue drained after %d events, want %d", i, len(want))
+		}
+		if ev.Time != w.time || ev.Kind != w.kind || ev.Task != w.task {
+			t.Fatalf("pop %d = {t=%v %v task=%d}, want {t=%v %v task=%d}",
+				i, ev.Time, ev.Kind, ev.Task, w.time, w.kind, w.task)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue not empty after the expected sequence")
+	}
+
+	// Reset keeps the seq counter, so cross-phase ties stay FIFO: an
+	// event pushed after Reset sorts behind nothing from before (the
+	// queue is empty) but its seq keeps growing monotonically.
+	q.Push(Event{Time: 1, Kind: KindSubmit, Task: 0})
+	q.Reset()
+	q.Push(Event{Time: 1, Kind: KindTaskEnd, Task: 1})
+	q.Push(Event{Time: 1, Kind: KindSubmit, Task: 2})
+	ev, _ := q.Pop()
+	if ev.Task != 1 {
+		t.Fatalf("post-Reset FIFO broken: first pop is task %d", ev.Task)
+	}
+	if ev2, _ := q.Pop(); ev2.Task != 2 {
+		t.Fatalf("post-Reset FIFO broken: second pop is task %d", ev2.Task)
+	}
+	if k := KindSubmit.String(); k != "submit" {
+		t.Fatalf("KindSubmit renders as %q", k)
+	}
+}

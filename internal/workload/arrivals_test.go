@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cosched/internal/rng"
+)
+
+func arrivalBase() Spec {
+	s := Default()
+	s.N = 4
+	s.P = 16
+	return s
+}
+
+func TestArrivalPoissonDeterminism(t *testing.T) {
+	a := ArrivalSpec{Process: ArrivalPoisson, Count: 20, Rate: 1e-4}
+	s := arrivalBase()
+	one, err := a.Generate(s, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := a.Generate(s, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 20 {
+		t.Fatalf("generated %d arrivals, want 20", len(one))
+	}
+	prev := 0.0
+	for k := range one {
+		if one[k].Time != two[k].Time || one[k].Task.Data != two[k].Task.Data {
+			t.Fatalf("arrival %d differs across equal sources", k)
+		}
+		if one[k].Time < prev {
+			t.Fatalf("arrival %d at %v before %v (unsorted)", k, one[k].Time, prev)
+		}
+		prev = one[k].Time
+		if one[k].Task.Data < s.MInf || one[k].Task.Data > s.MSup {
+			t.Fatalf("arrival %d size %v outside [%v, %v]", k, one[k].Task.Data, s.MInf, s.MSup)
+		}
+		if one[k].Task.ID != s.N+k {
+			// IDs are assigned in generation order; Poisson times are
+			// already sorted, so they coincide with schedule order here.
+			t.Fatalf("arrival %d has ID %d, want %d", k, one[k].Task.ID, s.N+k)
+		}
+	}
+	if different, _ := a.Generate(s, rng.New(43)); different[0].Time == one[0].Time {
+		t.Fatal("different seeds produced identical first arrivals")
+	}
+}
+
+func TestArrivalBatch(t *testing.T) {
+	a := ArrivalSpec{Process: ArrivalBatch, Count: 6, Interval: 100, BatchSize: 2}
+	s := arrivalBase()
+	arr, err := a.Generate(s, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 100, 100, 200, 200}
+	for k := range arr {
+		if arr[k].Time != want[k] {
+			t.Fatalf("sharp batch arrival %d at %v, want %v", k, arr[k].Time, want[k])
+		}
+	}
+	// With jitter, every job stays within [batch, batch+jitter).
+	a.Jitter = 50
+	arr, err = a.Generate(s, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range arr {
+		lo, hi := want[k], want[k]+50
+		// Sorting may reorder jittered jobs across batch boundaries;
+		// check membership in any batch window instead of index k's.
+		ok := false
+		for _, b := range []float64{0, 100, 200} {
+			if arr[k].Time >= b && arr[k].Time < b+50 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("jittered arrival %d at %v outside every batch window [b, b+50) (first window [%v, %v))",
+				k, arr[k].Time, lo, hi)
+		}
+	}
+}
+
+func TestArrivalTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	content := "# arrival trace\n500 2e6\n\n100\n250.5 1.5e6\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := ArrivalSpec{Process: ArrivalTrace, Trace: path}
+	s := arrivalBase()
+	arr, err := a.Generate(s, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 3 {
+		t.Fatalf("parsed %d arrivals, want 3", len(arr))
+	}
+	if arr[0].Time != 100 || arr[1].Time != 250.5 || arr[2].Time != 500 {
+		t.Fatalf("trace times %v, %v, %v not sorted as 100, 250.5, 500", arr[0].Time, arr[1].Time, arr[2].Time)
+	}
+	if arr[1].Task.Data != 1.5e6 || arr[2].Task.Data != 2e6 {
+		t.Fatalf("pinned sizes not honored: %v, %v", arr[1].Task.Data, arr[2].Task.Data)
+	}
+	if arr[0].Task.Data < s.MInf || arr[0].Task.Data > s.MSup {
+		t.Fatalf("drawn size %v outside the workload range", arr[0].Task.Data)
+	}
+
+	for _, bad := range []string{"", "abc\n", "5 6 7\n", "-1\n", "10 0.5\n"} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadArrivalTrace(path); err == nil {
+			t.Fatalf("trace %q parsed without error", bad)
+		}
+	}
+}
+
+func TestArrivalSpecValidate(t *testing.T) {
+	bad := []ArrivalSpec{
+		{},
+		{Process: "yolo"},
+		{Process: ArrivalPoisson, Rate: 1},
+		{Process: ArrivalPoisson, Count: 5},
+		{Process: ArrivalBatch, Count: 5},
+		{Process: ArrivalBatch, Count: 5, Interval: 10, Jitter: -1},
+		{Process: ArrivalTrace},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Fatalf("spec %+v validated", a)
+		}
+	}
+	good := ArrivalSpec{Process: ArrivalPoisson, Count: 1, Rate: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
