@@ -27,6 +27,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,12 +42,19 @@ const headline = "BenchmarkRunSingle$|BenchmarkRunOnline$|BenchmarkEngineSingleR
 	"|BenchmarkCampaignThroughput$|BenchmarkCampaignThroughputAdaptive$" +
 	"|BenchmarkExpectedTimeRaw$|BenchmarkCompiledAt$|BenchmarkCompile$"
 
-// ledger is the JSON document layout.
+// ledger is the JSON document layout. The environment block (Go version,
+// GOMAXPROCS, CPU, commit) makes a ledger self-describing: a reader of a
+// committed BENCH_<n>.json can tell which toolchain and machine produced
+// the numbers, and the diff gate uses CPU identity to decide whether a
+// wall-clock comparison is meaningful at all.
 type ledger struct {
 	BenchTime  string                        `json:"benchtime"`
 	Goos       string                        `json:"goos,omitempty"`
 	Goarch     string                        `json:"goarch,omitempty"`
 	CPU        string                        `json:"cpu,omitempty"`
+	GoVersion  string                        `json:"go_version,omitempty"`
+	GoMaxProcs int                           `json:"gomaxprocs,omitempty"`
+	Commit     string                        `json:"commit,omitempty"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
 
@@ -81,6 +89,9 @@ func main() {
 
 	led := parse(buf.String())
 	led.BenchTime = *benchtime
+	led.GoVersion = runtime.Version()
+	led.GoMaxProcs = runtime.GOMAXPROCS(0)
+	led.Commit = headCommit()
 	if len(led.Benchmarks) == 0 {
 		fatalf("no benchmark lines in go test output")
 	}
@@ -114,9 +125,19 @@ func main() {
 
 	if prev != nil {
 		if failed := diff(os.Stdout, *prev, led, prevPath, *maxReg); failed {
-			fatalf("throughput regressed more than %.0f%% vs %s", *maxReg*100, prevPath)
+			fatalf("regression vs %s: throughput down more than %.0f%%, or a zero-alloc benchmark now allocates", prevPath, *maxReg*100)
 		}
 	}
+}
+
+// headCommit returns the abbreviated HEAD hash, best-effort: ledgers
+// produced outside a git checkout simply omit the field.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // resolveBaseline expands "auto" to the highest-numbered BENCH_<n>.json
@@ -171,6 +192,13 @@ func readLedger(path string) (ledger, error) {
 // on the box that produced the baseline).
 func diff(w *os.File, prev, cur ledger, path string, maxReg float64) bool {
 	advisory := prev.CPU != cur.CPU || prev.BenchTime != cur.BenchTime
+	// Allocation counts are a property of the code, not the machine —
+	// but they are benchtime-sensitive: the arena-reuse benchmarks
+	// amortize their warm-up allocations across iterations, so one-shot
+	// runs (-benchtime 1x) legitimately report non-zero allocs/op. The
+	// zero-alloc gate therefore compares like benchtimes only, but fires
+	// even across CPUs.
+	allocsComparable := prev.BenchTime == cur.BenchTime
 	if advisory {
 		fmt.Fprintf(w, "bench: baseline %s was measured on %q at benchtime %s (now %q at %s): deltas are advisory, regression gate off\n",
 			path, prev.CPU, prev.BenchTime, cur.CPU, cur.BenchTime)
@@ -195,10 +223,23 @@ func diff(w *os.File, prev, cur ledger, path string, maxReg float64) bool {
 		sort.Strings(units)
 		for _, unit := range units {
 			was, ok := old[unit]
-			if !ok || was == 0 {
+			if !ok {
 				continue
 			}
 			now := cur.Benchmarks[name][unit]
+			// A zero-alloc benchmark that starts allocating is a real
+			// regression even when the wall-clock deltas are advisory:
+			// the simulator hot path's 0 allocs/op steady state is a
+			// load-bearing invariant.
+			if unit == "allocs/op" && allocsComparable && was == 0 && now > 0 {
+				fmt.Fprintf(w, "  %-36s %-10s %14.4g -> %-14.4g  << REGRESSION (was zero-alloc)\n",
+					name, unit, was, now)
+				failed = true
+				continue
+			}
+			if was == 0 {
+				continue
+			}
 			delta := (now - was) / was
 			marker := ""
 			if unit == "units/s" && delta < -maxReg {

@@ -28,6 +28,7 @@ import (
 
 	"cosched/internal/campaign"
 	"cosched/internal/experiments"
+	"cosched/internal/obs"
 	"cosched/internal/plot"
 	"cosched/internal/profiling"
 	"cosched/internal/scenario"
@@ -62,12 +63,22 @@ func main() {
 		jobs        = flag.Int("jobs", 0, "online mode: number of arriving jobs (default 16 for a new block)")
 		arrivalRule = flag.String("arrival-rule", "", "online mode: arrival redistribution rule (none | greedy | steal | registered name)")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on successful exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on successful exit")
+
+		metricsAddr    = flag.String("metrics-addr", "", "serve live telemetry on this address: Prometheus /metrics, JSON /progress and /snapshot, /debug/vars, /debug/pprof")
+		metricsDump    = flag.String("metrics-dump", "", "write a final Prometheus-text snapshot to this file after the campaign")
+		metricsLinger  = flag.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint serving this long after the campaign finishes")
+		heartbeatPath  = flag.String("heartbeat", "", "append JSONL progress heartbeats to this file ('-' = stderr)")
+		heartbeatEvery = flag.Duration("heartbeat-every", time.Second, "heartbeat period for -heartbeat")
 	)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start("campaign", *cpuprofile, *memprofile)
+	stopProfiles, err := profiling.StartConfig("campaign", profiling.Config{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -119,6 +130,32 @@ func main() {
 	}
 
 	opt := campaign.Options{Workers: *workers}
+	var telemetry *obs.Campaign
+	if *metricsAddr != "" || *metricsDump != "" || *heartbeatPath != "" {
+		telemetry = obs.NewCampaign()
+		opt.Metrics = telemetry
+	}
+	var server *obs.Server
+	if *metricsAddr != "" {
+		server, err = obs.Serve(*metricsAddr, telemetry)
+		if err != nil {
+			fatalf("-metrics-addr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: serving telemetry at http://%s/metrics\n", server.Addr())
+	}
+	var stopHeartbeat func()
+	var heartbeatFile *os.File
+	if *heartbeatPath != "" {
+		w := os.Stderr
+		if *heartbeatPath != "-" {
+			heartbeatFile, err = os.Create(*heartbeatPath)
+			if err != nil {
+				fatalf("-heartbeat: %v", err)
+			}
+			w = heartbeatFile
+		}
+		stopHeartbeat = obs.Heartbeat(w, telemetry, *heartbeatEvery)
+	}
 	if *manifest != "" {
 		man, err := campaign.OpenManifest(*manifest)
 		if err != nil {
@@ -147,6 +184,26 @@ func main() {
 		fatalf("%v", err)
 	}
 	elapsed := time.Since(start)
+
+	if stopHeartbeat != nil {
+		stopHeartbeat() // emits the final heartbeat line
+		if heartbeatFile != nil {
+			heartbeatFile.Close()
+		}
+	}
+	if *metricsDump != "" {
+		f, err := os.Create(*metricsDump)
+		if err != nil {
+			fatalf("-metrics-dump: %v", err)
+		}
+		if err := telemetry.WritePrometheus(f); err != nil {
+			fatalf("-metrics-dump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("-metrics-dump: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: wrote metrics snapshot %s\n", *metricsDump)
+	}
 
 	table, err := res.Table()
 	if err != nil {
@@ -240,6 +297,14 @@ func main() {
 			fmt.Printf("  %-24s response %12.0f s   stretch %6.2f   wait %10.0f s   utilization %5.1f%%\n",
 				pol.Label, resp/np, str/np, wait/np, 100*util/np)
 		}
+	}
+	if server != nil {
+		if *metricsLinger > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: metrics endpoint lingering %v at http://%s/\n",
+				*metricsLinger, server.Addr())
+			time.Sleep(*metricsLinger)
+		}
+		server.Close()
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cosched/internal/experiments"
+	"cosched/internal/obs"
 	"cosched/internal/plot"
 	"cosched/internal/profiling"
 	"cosched/internal/scenario"
@@ -35,12 +36,17 @@ func main() {
 		precision = flag.Float64("precision", 0, "adaptive replicates: target relative CI half-width per cell (0 = fixed -reps)")
 		maxReps   = flag.Int("max-reps", 200, "with -precision: replicate cap per grid point")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on successful exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on successful exit")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live telemetry on this address: Prometheus /metrics, JSON /progress, /debug/vars, /debug/pprof")
 	)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start("experiments", *cpuprofile, *memprofile)
+	stopProfiles, err := profiling.StartConfig("experiments", profiling.Config{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -52,6 +58,17 @@ func main() {
 	params := experiments.Params{Reps: *reps, Seed: *seed, Shrink: *shrink, Workers: *workers}
 	if *precision > 0 {
 		params.Precision = &scenario.PrecisionSpec{RelHalfWidth: *precision, MaxReplicates: *maxReps}
+	}
+	if *metricsAddr != "" {
+		// One telemetry campaign spans all figures of the run: gauges
+		// reset per figure, counters and histograms accumulate.
+		params.Metrics = obs.NewCampaign()
+		server, err := obs.Serve(*metricsAddr, params.Metrics)
+		if err != nil {
+			fatalf("-metrics-addr: %v", err)
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "experiments: serving telemetry at http://%s/metrics\n", server.Addr())
 	}
 
 	ids := strings.Split(*figure, ",")

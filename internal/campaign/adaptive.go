@@ -144,6 +144,10 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 	if opt.Progress != nil && c.done > 0 {
 		opt.Progress(c.done, c.estTotal)
 	}
+	if m := opt.Metrics; m != nil {
+		m.PointsPlanned.Set(float64(len(points)))
+	}
+	c.syncMetrics()
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -171,9 +175,12 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			ws := newWorkerState()
+			if opt.Metrics != nil {
+				ws.attach(opt.Metrics.Shard(w))
+			}
 			for job := range jobs {
 				vals, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point], trace)
 				r := unitResult{point: job.point, rep: job.rep, err: err}
@@ -183,7 +190,7 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 				}
 				results <- r
 			}
-		}()
+		}(w)
 	}
 
 	// Coordinator: interleave dispatching queued jobs with folding
@@ -199,6 +206,7 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 			c.queue = c.queue[1:]
 		case r := <-results:
 			c.handle(r)
+			c.syncMetrics()
 		}
 	}
 	close(jobs)
@@ -259,6 +267,9 @@ func (c *adaptiveController) advance(pi int) {
 	}
 	if ps.stopped {
 		c.estTotal -= c.maxReps - ps.folded
+		if m := c.opt.Metrics; m != nil {
+			m.PointsStopped.Inc()
+		}
 		return
 	}
 	if ps.outstanding > 0 || c.firstErr != nil {
@@ -279,6 +290,20 @@ func (c *adaptiveController) advance(pi int) {
 		ps.outstanding++
 		c.inflight++
 	}
+}
+
+// syncMetrics mirrors the controller's progress state into the attached
+// telemetry campaign. Only the coordinating goroutine calls it, so plain
+// gauge stores suffice.
+func (c *adaptiveController) syncMetrics() {
+	m := c.opt.Metrics
+	if m == nil {
+		return
+	}
+	m.UnitsDone.Set(float64(c.done))
+	m.UnitsPlanned.Set(float64(c.estTotal))
+	m.QueueDepth.Set(float64(c.inflight))
+	m.RepsSaved.Set(float64(len(c.points)*c.maxReps - c.estTotal))
 }
 
 // shouldStop evaluates the sequential stopping rule for one point: stop

@@ -22,10 +22,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"cosched/internal/core"
 	"cosched/internal/failure"
 	"cosched/internal/model"
+	"cosched/internal/obs"
 	"cosched/internal/rng"
 	"cosched/internal/scenario"
 	"cosched/internal/stats"
@@ -103,6 +105,11 @@ type Options struct {
 	// recorded units are restored instead of re-run, and every newly
 	// completed unit is appended.
 	Manifest *Manifest
+	// Metrics, when non-nil, receives live telemetry: per-worker unit
+	// and simulator counters (sharded, merged only at snapshot time) and
+	// the coordinator's progress gauges. Results are byte-identical with
+	// or without it — telemetry is a pure side channel.
+	Metrics *obs.Campaign
 }
 
 // Result is a completed campaign: the expanded grid, the resolved
@@ -204,6 +211,12 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 	if opt.Progress != nil && done > 0 {
 		opt.Progress(done, total)
 	}
+	if m := opt.Metrics; m != nil {
+		m.PointsPlanned.Set(float64(len(points)))
+		m.UnitsPlanned.Set(float64(total))
+		m.UnitsDone.Set(float64(done))
+		m.QueueDepth.Set(float64(total - done))
+	}
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -227,12 +240,15 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// One simulation arena per worker: every unit resets it in
 			// place, so the hot loop stops allocating after the first
 			// few units warm the buffers up.
 			ws := newWorkerState()
+			if opt.Metrics != nil {
+				ws.attach(opt.Metrics.Shard(w))
+			}
 			for unit := range units {
 				pi, rep := unit/sp.Replicates, unit%sp.Replicates
 				vals, err := ws.runUnit(sp, points[pi], policies, semantics, rep, shared[pi], trace)
@@ -254,12 +270,16 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 					}
 				}
 				done++
+				if m := opt.Metrics; m != nil {
+					m.UnitsDone.Set(float64(done))
+					m.QueueDepth.Set(float64(total - done))
+				}
 				if opt.Progress != nil {
 					opt.Progress(done, total)
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	for unit := 0; unit < total; unit++ {
 		if !restored[unit] {
@@ -296,6 +316,12 @@ type workerState struct {
 	// appends per-arrival rows during the run.
 	comp   model.Compiled
 	compFF model.Compiled
+	// shard, when non-nil, is this worker's telemetry shard; observer is
+	// the same shard's SimMetrics behind the core.RunObserver interface,
+	// kept separately so a metrics-off worker passes a genuinely nil
+	// interface to the simulator (zero-cost-when-off contract).
+	shard    *obs.WorkerShard
+	observer core.RunObserver
 }
 
 func newWorkerState() *workerState {
@@ -305,6 +331,12 @@ func newWorkerState() *workerState {
 		faultRNG:  rng.New(0),
 		arrRNG:    rng.New(0),
 	}
+}
+
+// attach binds this worker to its telemetry shard.
+func (ws *workerState) attach(sh *obs.WorkerShard) {
+	ws.shard = sh
+	ws.observer = &sh.Sim
 }
 
 // pointModel is the read-only state one grid point shares across the
@@ -395,6 +427,10 @@ func sharedPointModels(sp scenario.Spec, points []scenario.RunPoint, policies []
 // trace carries the campaign's pre-loaded arrival-trace entries (nil
 // unless the spec uses the trace process).
 func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int, shared *pointModel, trace []workload.TraceArrival) ([]float64, error) {
+	var unitStart time.Time
+	if ws.shard != nil {
+		unitStart = time.Now()
+	}
 	faultSeed := rng.SubSeed(sp.Seed, streamFaults, uint64(pt.Index), uint64(rep))
 	var tasks []model.Task
 	if shared != nil {
@@ -482,7 +518,7 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 			}
 			in.Compiled = cm
 		}
-		if err := ws.simulator.Reset(in, pol.Policy, src, core.Options{Semantics: semantics}); err != nil {
+		if err := ws.simulator.Reset(in, pol.Policy, src, core.Options{Semantics: semantics, Observer: ws.observer}); err != nil {
 			return nil, err
 		}
 		r, err := ws.simulator.Run()
@@ -493,6 +529,12 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 		if online {
 			onlineMetrics(out[qi*nm:qi*nm+nm], &r, tasks, arrivals, runSpec.P)
 		}
+	}
+	if ws.shard != nil {
+		d := time.Since(unitStart).Seconds()
+		ws.shard.Units.Inc()
+		ws.shard.BusySeconds.Add(d)
+		ws.shard.UnitSeconds.Observe(d)
 	}
 	return out, nil
 }

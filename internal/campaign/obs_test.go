@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"sync"
+	"testing"
+
+	"cosched/internal/obs"
+)
+
+// TestMetricsEquivalenceAcrossWorkers pins the snapshot determinism
+// contract: after a quiesced campaign, every counter total is a function
+// of the work done, not of how many workers did it — and the totals tie
+// out against the campaign's own result.
+func TestMetricsEquivalenceAcrossWorkers(t *testing.T) {
+	sp := testSpec()
+	var base obs.Snapshot
+	for i, workers := range []int{1, 3, 8} {
+		m := obs.NewCampaign()
+		res, err := Run(sp, Options{Workers: workers, Metrics: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.Snapshot()
+
+		units := uint64(res.Units())
+		if s.UnitsExecuted != units {
+			t.Fatalf("workers=%d: executed %d units, result says %d", workers, s.UnitsExecuted, units)
+		}
+		if uint64(s.UnitsDone) != units || s.QueueDepth != 0 {
+			t.Fatalf("workers=%d: gauges not settled: done=%d queue=%d", workers, s.UnitsDone, s.QueueDepth)
+		}
+		if want := units * uint64(len(res.Policies)); s.Sim.Runs != want {
+			t.Fatalf("workers=%d: sim runs %d, want units×policies = %d", workers, s.Sim.Runs, want)
+		}
+		if s.RunEvents.Count != s.Sim.Runs {
+			t.Fatalf("workers=%d: run-events histogram count %d != runs %d", workers, s.RunEvents.Count, s.Sim.Runs)
+		}
+		if s.RunEvents.Sum != float64(s.Sim.Events) {
+			t.Fatalf("workers=%d: run-events histogram sum %g != events %d", workers, s.RunEvents.Sum, s.Sim.Events)
+		}
+		var shardUnits uint64
+		for _, ws := range s.Workers {
+			shardUnits += ws.Units
+		}
+		if shardUnits != units {
+			t.Fatalf("workers=%d: shard units sum %d != %d", workers, shardUnits, units)
+		}
+
+		if i == 0 {
+			base = s
+			continue
+		}
+		if s.Sim != base.Sim {
+			t.Fatalf("sim totals depend on the worker count:\n1 worker: %+v\n%d workers: %+v", base.Sim, workers, s.Sim)
+		}
+		for b := range s.RunEvents.Counts {
+			if s.RunEvents.Counts[b] != base.RunEvents.Counts[b] {
+				t.Fatalf("run-events bucket %d depends on the worker count", b)
+			}
+		}
+	}
+}
+
+// TestMetricsDoNotPerturbResults pins the pure-side-channel contract:
+// attaching telemetry leaves the JSONL output byte-identical, for both
+// fixed and adaptive campaigns.
+func TestMetricsDoNotPerturbResults(t *testing.T) {
+	plain, err := Run(testSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(testSpec(), Options{Workers: 4, Metrics: obs.NewCampaign()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonl(t, plain) != jsonl(t, observed) {
+		t.Fatal("fixed campaign: telemetry changed the JSONL output")
+	}
+
+	plainA, err := Run(adaptiveSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observedA, err := Run(adaptiveSpec(), Options{Workers: 4, Metrics: obs.NewCampaign()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonl(t, plainA) != jsonl(t, observedA) {
+		t.Fatal("adaptive campaign: telemetry changed the JSONL output")
+	}
+}
+
+// TestAdaptiveMetrics checks the controller-side gauges: every point's
+// stopping rule fires exactly once, the final plan equals the replicates
+// actually spent, and the savings gauge matches the result's accounting.
+func TestAdaptiveMetrics(t *testing.T) {
+	m := obs.NewCampaign()
+	res, err := Run(adaptiveSpec(), Options{Workers: 4, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.PointsStopped != uint64(len(res.Points)) {
+		t.Fatalf("points stopped %d, want %d", s.PointsStopped, len(res.Points))
+	}
+	units := int64(res.Units())
+	if s.UnitsDone != units || s.UnitsPlanned != units {
+		t.Fatalf("settled gauges: done=%d planned=%d, want both %d", s.UnitsDone, s.UnitsPlanned, units)
+	}
+	if want := int64(res.ReplicateBudget()) - units; s.RepsSaved != want {
+		t.Fatalf("reps saved %d, want budget−units = %d", s.RepsSaved, want)
+	}
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after completion", s.QueueDepth)
+	}
+	if s.PointsPlanned != int64(len(res.Points)) {
+		t.Fatalf("points planned %d, want %d", s.PointsPlanned, len(res.Points))
+	}
+}
+
+// TestConcurrentSnapshot scrapes the telemetry while the campaign is
+// still running — the live-endpoint case. Under `go test -race` (the CI
+// race job) this doubles as the proof that hot-path writes and snapshot
+// reads are properly synchronized.
+func TestConcurrentSnapshot(t *testing.T) {
+	m := obs.NewCampaign()
+	sp := testSpec()
+	sp.Replicates = 10
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s := m.Snapshot()
+				if s.UnitsExecuted > 0 {
+					_ = s.Progress
+				}
+			}
+		}
+	}()
+
+	res, err := Run(sp, Options{Workers: 4, Metrics: m})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.UnitsExecuted != uint64(res.Units()) {
+		t.Fatalf("final snapshot executed %d, want %d", s.UnitsExecuted, res.Units())
+	}
+}

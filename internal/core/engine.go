@@ -389,6 +389,9 @@ func (e *Simulator) Run() (Result, error) {
 		bd := e.acct.finalize(e.in.P, res.Makespan)
 		res.Breakdown = &bd
 	}
+	if e.opt.Observer != nil {
+		e.opt.Observer.ObserveRun(e.ctr)
+	}
 	return res, nil
 }
 

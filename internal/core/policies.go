@@ -65,6 +65,7 @@ func (d *Decision) resize(e *Simulator, n int) {
 // eligible task gets one prefix-min evaluator bound to its frozen α,
 // memoizing every Eq. (6) query of the round.
 func (e *Simulator) beginDecision(t float64, elig []int, faulty int) {
+	e.ctr.Decisions++
 	d := &e.d
 	d.t = t
 	d.faulty = faulty
@@ -136,6 +137,7 @@ func (d *Decision) extra(i int) float64 {
 // Reverting to the initial allocation means no redistribution at all, so
 // the candidate is the task's unperturbed trajectory (its current tU).
 func (d *Decision) Candidate(i, cand int) float64 {
+	d.e.ctr.CandidateEvals++
 	if cand == d.sigmaInit[i] {
 		return d.oldTU[i]
 	}

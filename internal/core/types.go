@@ -203,6 +203,20 @@ type Options struct {
 	// Accounting enables the waste-breakdown decomposition
 	// (Result.Breakdown).
 	Accounting bool
+	// Observer, when non-nil, receives the run's final Counters exactly
+	// once per completed Run — the telemetry hook (internal/obs). The
+	// simulator never touches it mid-run, so with a nil Observer (the
+	// default) the engine performs no telemetry work at all.
+	Observer RunObserver
+}
+
+// RunObserver receives the final event counters of each completed run.
+// The campaign runner attaches one per-worker instance (obs.SimMetrics)
+// so simulator activity aggregates without any hot-path synchronization;
+// implementations must tolerate calls from whichever goroutine owns the
+// simulator.
+type RunObserver interface {
+	ObserveRun(Counters)
 }
 
 // Counters aggregates what happened during a run.
@@ -216,6 +230,8 @@ type Counters struct {
 	EarlyFinalized  int     // tasks finalized by Algorithm 2 line 28
 	Events          int     // total events processed
 	Submits         int     // submit events processed (online mode)
+	Decisions       int     // heuristic invocations (end/fail/arrival rounds)
+	CandidateEvals  int     // candidate expected-finish evaluations inside heuristics
 }
 
 // Snapshot is one Figure-9 history point, taken after handling a failure.

@@ -15,6 +15,7 @@ import (
 
 	"cosched/internal/campaign"
 	"cosched/internal/core"
+	"cosched/internal/obs"
 	"cosched/internal/scenario"
 	"cosched/internal/stats"
 	"cosched/internal/workload"
@@ -84,6 +85,9 @@ type Sweep struct {
 	Semantics core.Semantics
 	// Workers bounds run parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives the campaign runner's live
+	// telemetry (see campaign.Options.Metrics). Results are unaffected.
+	Metrics *obs.Campaign
 }
 
 // Scenario converts the sweep into its declarative campaign form: every
@@ -158,7 +162,7 @@ func (s Sweep) RunCampaign() (*campaign.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := campaign.Run(sp, campaign.Options{Workers: s.Workers})
+	res, err := campaign.Run(sp, campaign.Options{Workers: s.Workers, Metrics: s.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: sweep %s: %w", s.ID, err)
 	}

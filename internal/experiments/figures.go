@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cosched/internal/core"
+	"cosched/internal/obs"
 	"cosched/internal/scenario"
 	"cosched/internal/workload"
 )
@@ -20,6 +21,8 @@ type Params struct {
 	// burns replicates only until the target CI half-width is met
 	// (Reps is then ignored; the block's own min/max bounds apply).
 	Precision *scenario.PrecisionSpec
+	// Metrics, when non-nil, receives live campaign telemetry.
+	Metrics *obs.Campaign
 }
 
 func (p Params) norm() Params {
@@ -258,6 +261,7 @@ func ByID(id string, pr Params) (Sweep, error) {
 		return Sweep{}, err
 	}
 	sw.Precision = pr.Precision
+	sw.Metrics = pr.Metrics
 	return sw, nil
 }
 

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The expvar registry is process-global and panics on duplicate names,
+// while tests (and cmd/experiments) may serve several campaigns from one
+// process — so the published var is registered once and reads through an
+// atomic pointer to whichever campaign is currently served.
+var (
+	expvarOnce sync.Once
+	current    atomic.Pointer[Campaign]
+)
+
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("cosched_campaign", expvar.Func(func() interface{} {
+			c := current.Load()
+			if c == nil {
+				return nil
+			}
+			return c.Snapshot()
+		}))
+	})
+}
+
+// Server is a live observability endpoint for one campaign.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (host:port; port 0 picks a free
+// one) exposing the campaign's telemetry:
+//
+//	/metrics      Prometheus text exposition
+//	/progress     one Progress record as JSON (the heartbeat payload)
+//	/snapshot     the full merged Snapshot as JSON
+//	/debug/vars   expvar (cosched_campaign, cmdline, memstats)
+//	/debug/pprof  live profiling (profile, heap, block, mutex, trace, ...)
+//
+// The returned server runs until Close.
+func Serve(addr string, c *Campaign) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	current.Store(c)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Snapshot().Progress(time.Now()))
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("cosched campaign telemetry\n\n" +
+			"  /metrics      Prometheus text\n" +
+			"  /progress     progress + ETA (JSON)\n" +
+			"  /snapshot     full merged snapshot (JSON)\n" +
+			"  /debug/vars   expvar\n" +
+			"  /debug/pprof  live profiling\n"))
+	})
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's actual listen address (resolving port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -197,4 +197,7 @@ func addCounters(dst *core.Counters, src core.Counters) {
 	dst.TaskEnds += src.TaskEnds
 	dst.EarlyFinalized += src.EarlyFinalized
 	dst.Events += src.Events
+	dst.Submits += src.Submits
+	dst.Decisions += src.Decisions
+	dst.CandidateEvals += src.CandidateEvals
 }
