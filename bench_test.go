@@ -325,6 +325,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		},
 	}
 	units := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := campaign.Run(sp, campaign.Options{})
@@ -365,6 +366,7 @@ func BenchmarkCampaignThroughputAdaptive(b *testing.B) {
 		},
 	}
 	units, budget := 0, 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := campaign.Run(sp, campaign.Options{})

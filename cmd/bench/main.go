@@ -36,11 +36,14 @@ import (
 // headline is the default benchmark set: the Monte-Carlo steady state
 // (RunSingle, plus its online-arrivals variant), the one-shot path
 // (EngineSingleRun), the campaign runner end to end
-// (CampaignThroughput[Adaptive]), and the compiled-model micro pair
-// (ExpectedTimeRaw vs CompiledAt, plus the table build).
+// (CampaignThroughput[Adaptive]), the compiled-model micro pair
+// (ExpectedTimeRaw vs CompiledAt, plus the table build), and the row
+// kernels (CandidateRowSweep for the batched min-reduction,
+// DecisionRound for a full heuristic round over it).
 const headline = "BenchmarkRunSingle$|BenchmarkRunOnline$|BenchmarkEngineSingleRun$" +
 	"|BenchmarkCampaignThroughput$|BenchmarkCampaignThroughputAdaptive$" +
-	"|BenchmarkExpectedTimeRaw$|BenchmarkCompiledAt$|BenchmarkCompile$"
+	"|BenchmarkExpectedTimeRaw$|BenchmarkCompiledAt$|BenchmarkCompile$" +
+	"|BenchmarkCandidateRowSweep$|BenchmarkDecisionRound$"
 
 // ledger is the JSON document layout. The environment block (Go version,
 // GOMAXPROCS, CPU, commit) makes a ledger self-describing: a reader of a
@@ -75,7 +78,7 @@ func main() {
 		"-benchtime", *benchtime,
 		"-benchmem",
 		"-count", strconv.Itoa(*count),
-		".", "./internal/model",
+		".", "./internal/model", "./internal/core",
 	}
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer

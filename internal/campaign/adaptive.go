@@ -51,11 +51,20 @@ func (c *cellState) add(vals []float64) {
 type pointState struct {
 	folded      int               // contiguous replicates folded into cells
 	outstanding int               // replicates queued or in flight
+	next        int               // first replicate never queued (lookahead mode)
 	pending     map[int][]float64 // completed or restored, not yet folded
 	stopped     bool
 }
 
-type unitJob struct{ point, rep int }
+// unitJob is one dispatched replicate. buf, when non-nil, is a recycled
+// metric-vector buffer from the coordinator's free list; the worker
+// copies the unit's results into it, and the coordinator reclaims it
+// after folding. Steady-state adaptive batches therefore stop
+// allocating per replicate.
+type unitJob struct {
+	point, rep int
+	buf        []float64
+}
 
 type unitResult struct {
 	point, rep int
@@ -73,21 +82,33 @@ type unitResult struct {
 // itself a pure function of (spec, seed). Worker count and arrival order
 // cannot change the outcome, only the wall-clock.
 type adaptiveController struct {
-	sp       scenario.Spec
-	opt      Options
-	res      *Result
-	batch    int
-	minReps  int
-	maxReps  int
-	conf     float64
-	relHW    float64
-	nm       int // metrics per policy (metricsPerPolicy)
-	points   []pointState
-	queue    []unitJob
-	inflight int // queued + dispatched, not yet handled
-	done     int // folded replicates, including restored ones
-	estTotal int // points×max, shrunk as points stop early
-	firstErr error
+	sp      scenario.Spec
+	opt     Options
+	res     *Result
+	batch   int
+	minReps int
+	maxReps int
+	conf    float64
+	relHW   float64
+	nm      int // metrics per policy (metricsPerPolicy)
+	// lookahead, when positive, is the per-point speculation window of
+	// Options.Parallel: advance keeps up to this many replicates queued
+	// or in flight past the folded prefix instead of one batch at a
+	// time. Speculated results arriving after the stopping rule fires
+	// are discarded unfolded, so the window never changes the output,
+	// only how fully a single point can occupy the worker pool.
+	lookahead int
+	points    []pointState
+	queue     []unitJob
+	inflight  int // queued + dispatched, not yet handled
+	done      int // folded replicates, including restored ones
+	estTotal  int // points×max, shrunk as points stop early
+	firstErr  error
+	// free recycles per-replicate metric-vector buffers: folded vectors
+	// return here, queued jobs carry one back out to a worker. Owned by
+	// the coordinating goroutine; hand-off happens through the job and
+	// result structs, never by sharing.
+	free [][]float64
 }
 
 // runAdaptive executes a scenario carrying a precision block.
@@ -126,6 +147,28 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 		c.points[pi].pending = make(map[int][]float64)
 	}
 
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Parallel {
+		// Per-point mode: double-buffer the pool (a full complement of
+		// replicates in flight plus the refill queued behind them),
+		// rounded up to whole batches so speculation windows line up
+		// with stopping-rule boundaries.
+		la := 2 * workers
+		if r := la % c.batch; r != 0 {
+			la += c.batch - r
+		}
+		c.lookahead = la
+	} else if maxPar := len(points) * c.batch; workers > maxPar {
+		// One in-flight batch per point bounds useful parallelism.
+		workers = maxPar
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
 	if opt.Manifest != nil {
 		rcap := sp.ReplicateCap()
 		_, err := opt.Manifest.restore(sp, len(policies), func(unit int, vals []float64) {
@@ -149,18 +192,6 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 	}
 	c.syncMetrics()
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// One in-flight batch per point bounds useful parallelism.
-	if maxPar := len(points) * c.batch; workers > maxPar {
-		workers = maxPar
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
 	// Per-point shared compiled models, built at point-scheduling time
 	// and handed to the workers read-only (nil for points that must
 	// compile per unit), plus the once-per-campaign arrival trace.
@@ -177,7 +208,8 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := newWorkerState()
+			ws := getWorkerState()
+			defer putWorkerState(ws)
 			if opt.Metrics != nil {
 				ws.attach(opt.Metrics.Shard(w))
 			}
@@ -185,8 +217,16 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 				vals, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point], trace)
 				r := unitResult{point: job.point, rep: job.rep, err: err}
 				if err == nil {
-					// runUnit reuses its buffer; the result outlives it.
-					r.vals = append([]float64(nil), vals...)
+					// runUnit reuses its buffer; the result outlives it,
+					// so it is copied — into the job's recycled buffer
+					// when the coordinator attached one.
+					buf := job.buf
+					if cap(buf) < len(vals) {
+						buf = make([]float64, len(vals))
+					}
+					buf = buf[:len(vals)]
+					copy(buf, vals)
+					r.vals = buf
 				}
 				results <- r
 			}
@@ -196,6 +236,21 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 	// Coordinator: interleave dispatching queued jobs with folding
 	// results until every point has stopped and nothing is in flight.
 	for c.inflight > 0 {
+		// Speculated jobs whose point has since stopped are dropped
+		// here instead of dispatched — never-run replicates, not
+		// discarded results, so the output is unaffected either way.
+		for len(c.queue) > 0 && c.points[c.queue[0].point].stopped {
+			job := c.queue[0]
+			c.queue = c.queue[1:]
+			c.points[job.point].outstanding--
+			c.inflight--
+			if job.buf != nil {
+				c.free = append(c.free, job.buf)
+			}
+		}
+		if c.inflight == 0 {
+			break
+		}
 		var dispatch chan unitJob
 		var next unitJob
 		if len(c.queue) > 0 {
@@ -258,21 +313,49 @@ func (c *adaptiveController) advance(pi int) {
 		for qi := range cells {
 			cells[qi].add(vals[qi*c.nm : (qi+1)*c.nm])
 		}
+		c.free = append(c.free, vals)
 		ps.folded++
 		c.res.Reps[pi] = ps.folded
 		c.done++
 		if ps.folded == c.maxReps || ps.folded%c.batch == 0 {
-			ps.stopped = c.shouldStop(pi)
+			// The stop accounting runs exactly once, at the transition:
+			// in lookahead mode speculated results keep arriving (and
+			// re-entering advance) after the point has stopped.
+			if ps.stopped = c.shouldStop(pi); ps.stopped {
+				c.estTotal -= c.maxReps - ps.folded
+				if m := c.opt.Metrics; m != nil {
+					m.PointsStopped.Inc()
+				}
+			}
 		}
 	}
 	if ps.stopped {
-		c.estTotal -= c.maxReps - ps.folded
-		if m := c.opt.Metrics; m != nil {
-			m.PointsStopped.Inc()
+		return
+	}
+	if c.firstErr != nil {
+		return
+	}
+	if c.lookahead > 0 {
+		// Per-point parallel mode: keep the speculation window topped
+		// up past the folded prefix. next only moves forward, so no
+		// replicate is ever queued twice; restored replicates already
+		// sitting in pending are skipped.
+		end := ps.folded + c.lookahead
+		if end > c.maxReps {
+			end = c.maxReps
+		}
+		if ps.next < ps.folded {
+			ps.next = ps.folded
+		}
+		for ; ps.next < end; ps.next++ {
+			if _, ok := ps.pending[ps.next]; ok {
+				continue
+			}
+			c.enqueue(pi, ps.next)
 		}
 		return
 	}
-	if ps.outstanding > 0 || c.firstErr != nil {
+	if ps.outstanding > 0 {
 		return
 	}
 	// Queue the unfinished remainder of the batch containing folded.
@@ -286,10 +369,20 @@ func (c *adaptiveController) advance(pi int) {
 		if _, ok := ps.pending[rep]; ok {
 			continue
 		}
-		c.queue = append(c.queue, unitJob{point: pi, rep: rep})
-		ps.outstanding++
-		c.inflight++
+		c.enqueue(pi, rep)
 	}
+}
+
+// enqueue queues one replicate, handing it a recycled metric buffer when
+// one is free.
+func (c *adaptiveController) enqueue(pi, rep int) {
+	job := unitJob{point: pi, rep: rep}
+	if n := len(c.free); n > 0 {
+		job.buf, c.free = c.free[n-1], c.free[:n-1]
+	}
+	c.queue = append(c.queue, job)
+	c.points[pi].outstanding++
+	c.inflight++
 }
 
 // syncMetrics mirrors the controller's progress state into the attached

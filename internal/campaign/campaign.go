@@ -97,6 +97,21 @@ func loadArrivalTrace(sp scenario.Spec) ([]workload.TraceArrival, error) {
 type Options struct {
 	// Workers bounds unit parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Parallel enables the per-point parallel mode: a single grid
+	// point's replicate range is sharded across the whole worker pool
+	// even when the adaptive controller would otherwise keep only one
+	// batch in flight. Fixed-replicate campaigns already shard every
+	// point's replicate range (the unit queue is point-major over
+	// (point, replicate) units), so the flag only changes adaptive
+	// scheduling: the controller speculatively queues replicates past
+	// the current batch boundary, and results that arrive after the
+	// stopping rule fires are discarded unfolded. Replicate seeds derive
+	// from (point, replicate) alone — the CRN sub-seed discipline — and
+	// folding order and stopping decisions are pure functions of the
+	// folded prefix, so output is byte-identical to sequential for any
+	// worker count; the only cost is up to a lookahead window of wasted
+	// replicates per point.
+	Parallel bool
 	// Progress, when non-nil, is called after every completed unit with
 	// the number of finished units (including manifest-restored ones)
 	// and the campaign total. Calls are serialized.
@@ -244,8 +259,11 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 			defer wg.Done()
 			// One simulation arena per worker: every unit resets it in
 			// place, so the hot loop stops allocating after the first
-			// few units warm the buffers up.
-			ws := newWorkerState()
+			// few units warm the buffers up. Arenas are pooled across
+			// campaign executions, so back-to-back Runs reuse warm
+			// buffers too.
+			ws := getWorkerState()
+			defer putWorkerState(ws)
 			if opt.Metrics != nil {
 				ws.attach(opt.Metrics.Shard(w))
 			}
@@ -304,10 +322,15 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 type workerState struct {
 	simulator *core.Simulator
 	renewal   failure.Renewal
-	taskRNG   *rng.Source
-	faultRNG  *rng.Source
-	arrRNG    *rng.Source
-	out       []float64
+	// replay records the fault stream the unit's first fault-enabled
+	// policy consumes, so the remaining policies rewind it (common
+	// random numbers) instead of re-generating the stream. Valid only
+	// within one runUnit call.
+	replay   failure.Replay
+	taskRNG  *rng.Source
+	faultRNG *rng.Source
+	arrRNG   *rng.Source
+	out      []float64
 	// comp/compFF are the per-unit compiled instance models (failure
 	// parameters on / off), rebuilt in place once per unit and shared by
 	// every policy of the unit. When the grid point carries a shared
@@ -331,6 +354,26 @@ func newWorkerState() *workerState {
 		faultRNG:  rng.New(0),
 		arrRNG:    rng.New(0),
 	}
+}
+
+// workerStatePool recycles worker arenas across campaign executions.
+// Every arena is reset in place per unit anyway (reseeded RNGs,
+// recompiled tables, simulator Reset), so a recycled state is
+// indistinguishable from a fresh one — but its warmed-up buffers
+// (simulator slabs, compiled-table columns, the renewal heap) survive,
+// which matters for drivers that run many short campaigns back to back
+// (adaptive batches, cmd/bench, parameter sweeps).
+var workerStatePool = sync.Pool{New: func() any { return newWorkerState() }}
+
+// getWorkerState takes a (possibly recycled) worker arena from the pool.
+func getWorkerState() *workerState { return workerStatePool.Get().(*workerState) }
+
+// putWorkerState detaches the arena from its telemetry shard and returns
+// it to the pool.
+func putWorkerState(ws *workerState) {
+	ws.shard = nil
+	ws.observer = nil
+	workerStatePool.Put(ws)
 }
 
 // attach binds this worker to its telemetry shard.
@@ -469,24 +512,39 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 	}
 	out := ws.out[:len(policies)*nm]
 	var cm, cmFF *model.Compiled // the unit's compiled models, resolved lazily
+	var unitLaw failure.Law      // set by the unit's first fault-enabled policy
 	for qi, pol := range policies {
 		runSpec := pt.Spec
 		var src failure.Source
 		if pol.FaultFree {
 			runSpec.MTBFYears, runSpec.SilentMTBFYears = 0, 0
 		} else if runSpec.Lambda() > 0 {
-			law, err := failure.LawForRate(sp.Failure.Law, runSpec.Lambda(), sp.Failure.Shape)
-			if err != nil {
-				return nil, err
-			}
 			// Every policy of the unit replays the same fault stream
-			// (common random numbers), so the generator is reseeded, not
-			// continued, between policies.
-			ws.faultRNG.Reseed(faultSeed)
-			if err := ws.renewal.Reset(runSpec.P, law, ws.faultRNG); err != nil {
-				return nil, err
+			// (common random numbers). The first fault-enabled policy
+			// seeds and arms the generator and runs through a recording
+			// Replay; later policies rewind the recording instead of
+			// reseeding and re-generating the stream — pure slice reads,
+			// no heap sifts, no RNG draws — and transparently continue
+			// from the still-armed generator if they outlive the recorded
+			// prefix. The law and P are identical across the unit's
+			// fault-enabled policies (both derive from pt.Spec and
+			// sp.Failure alone), so a rewound stream is bit-identical to
+			// a fresh Reseed+Reset draw sequence.
+			if unitLaw == nil {
+				law, err := failure.LawForRate(sp.Failure.Law, runSpec.Lambda(), sp.Failure.Shape)
+				if err != nil {
+					return nil, err
+				}
+				ws.faultRNG.Reseed(faultSeed)
+				if err := ws.renewal.Reset(runSpec.P, law, ws.faultRNG); err != nil {
+					return nil, err
+				}
+				ws.replay.Reset(&ws.renewal)
+				unitLaw = law
+			} else {
+				ws.replay.Rewind()
 			}
-			src = &ws.renewal
+			src = &ws.replay
 		}
 		in := core.Instance{Tasks: tasks, P: runSpec.P, Res: runSpec.Resilience(), Arrivals: arrivals}
 		switch {
@@ -498,7 +556,14 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 				if shared != nil {
 					cmFF = shared.compFF
 				} else {
-					if err := ws.compFF.Recompile(in.Tasks, in.Res, in.RC, in.P); err != nil {
+					// When the unit's fault-enabled tables were already
+					// built over the same pack, the fault-free compile
+					// copies their failure-independent columns instead of
+					// recomputing them (bit-identical; see
+					// Compiled.RecompileFaultFree). With cm == nil — a
+					// fault-free policy ordered first — it falls back to a
+					// full Recompile.
+					if err := ws.compFF.RecompileFaultFree(cm, in.Tasks, in.Res, in.RC, in.P); err != nil {
 						return nil, err
 					}
 					cmFF = &ws.compFF

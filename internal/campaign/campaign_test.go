@@ -60,6 +60,40 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestParallelByteIdentical is the per-point parallel mode's golden
+// contract: with Options.Parallel set, both fixed and adaptive
+// campaigns produce JSONL byte-identical to the sequential run for any
+// worker count — the replicate seeds derive from (point, replicate)
+// alone and the fold order is pinned, so sharding one point's replicate
+// range across the pool (with adaptive speculation past batch
+// boundaries) must be invisible in the output.
+func TestParallelByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sp   scenario.Spec
+	}{
+		{"fixed", testSpec()},
+		{"adaptive", adaptiveSpec()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := Run(tc.sp, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := jsonl(t, seq)
+			for _, workers := range []int{1, 2, 8} {
+				res, err := Run(tc.sp, Options{Workers: workers, Parallel: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := jsonl(t, res); got != want {
+					t.Fatalf("%d-worker -parallel output differs from sequential", workers)
+				}
+			}
+		})
+	}
+}
+
 func TestCommonRandomNumbers(t *testing.T) {
 	// Two campaigns differing only in policy list must see identical
 	// fault streams: the shared norc series comes out bit-identical.

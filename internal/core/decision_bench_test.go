@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"cosched/internal/rng"
+)
+
+// BenchmarkDecisionRound measures one end-of-task redistribution round
+// in isolation: beginDecision over the eligible set plus the end-local
+// heuristic's candidate sweep (Algorithm 4), without the commit — the
+// engine state is untouched, so every iteration evaluates an identical
+// round. This is the row-kernel path's own ledger entry: candidate
+// scoring through the lazily bound prefix-min evaluators, frozen
+// redistribution-cost rows and surcharge rows, with zero steady-state
+// allocations.
+func BenchmarkDecisionRound(b *testing.B) {
+	in := Instance{Tasks: synthPack(10, rng.New(5)), P: 100, Res: paperRes(5)}
+	e := NewSimulator()
+	if err := e.Reset(in, Policy{OnEnd: EndLocal}, nil, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	// Finalize one task so its processors are free: the round now has
+	// something to redistribute, as after a real task end. Skipping the
+	// commit keeps the platform and task states frozen, so iterations
+	// stay identical.
+	e.finalize(0, 0)
+	elig := e.eligible(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.beginDecision(0, elig, -1)
+		e.endH.RedistributeEnd(&e.d)
+	}
+}

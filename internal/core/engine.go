@@ -91,6 +91,20 @@ type Simulator struct {
 	cm      *model.Compiled
 	ownComp model.Compiled
 	ownOK   bool // ownComp holds tables for the instance it claims
+
+	// Initial-schedule memo. Algorithm 1 is a pure function of the
+	// instance (tasks, resilience, platform size) and independent of the
+	// policy and fault source, so its result — σ0 and each task's
+	// expected finish under it — is cached keyed on the compiled model's
+	// (pointer, generation) identity: a campaign unit that runs several
+	// policies over one instance computes the schedule once and the
+	// later Resets replay the exact cached values (bit-identical by
+	// construction; pinned by the golden-equivalence tests).
+	memoCM  *model.Compiled
+	memoGen uint64
+	memoN   int
+	memoSig []int
+	memoTU  []float64
 }
 
 // bindCompiled points e.cm at valid tables for in: the caller's shared
@@ -208,14 +222,17 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 	e.have = false
 	e.acct = nil
 
-	if err := e.initialSchedule(); err != nil {
+	memoHit := e.cm != nil && e.cm == e.memoCM && e.cm.Gen() == e.memoGen && e.memoN == n
+	if memoHit {
+		copy(e.sigma0[:n], e.memoSig[:n])
+	} else if err := e.initialSchedule(); err != nil {
 		return err
 	}
 	if opt.Accounting {
 		e.acct = newAccounting(n, e.sigma0)
 	}
 	for i := range e.st {
-		if _, err := e.plat.Alloc(i, e.sigma0[i]); err != nil {
+		if err := e.plat.AllocN(i, e.sigma0[i]); err != nil {
 			return fmt.Errorf("core: initial allocation: %w", err)
 		}
 		s := &e.st[i]
@@ -224,10 +241,23 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 			alpha:  1,
 			tlastR: 0,
 		}
-		// d.evals[i] is still bound to (task i, α = 1) by the initial
-		// schedule, so this is ExpectedTime without the allocation.
-		s.tU = e.d.evals[i].At(s.sigma)
+		if memoHit {
+			s.tU = e.memoTU[i]
+		} else {
+			// d.evals[i] is still bound to (task i, α = 1) by the initial
+			// schedule, so this is ExpectedTime without the allocation.
+			s.tU = e.d.evals[i].At(s.sigma)
+		}
 		e.scheduleEnd(i)
+	}
+	if !memoHit && e.cm != nil {
+		e.memoCM, e.memoGen, e.memoN = e.cm, e.cm.Gen(), n
+		growInts(&e.memoSig, n)
+		copy(e.memoSig, e.sigma0[:n])
+		growFloats(&e.memoTU, n)
+		for i := range e.st {
+			e.memoTU[i] = e.st[i].tU
+		}
 	}
 	// Submit events are enqueued after the base end events, so at equal
 	// timestamps an initial end sorts before a submission (FIFO seq
@@ -400,28 +430,18 @@ func (e *Simulator) pullFault() {
 	e.next, e.have = e.src.Next()
 }
 
-// peekValid returns the earliest valid queued event, discarding stale
-// task-end events (submit events are always valid; their Task field is
-// an arrival index, not a task index).
+// peekValid returns the earliest queued event. Every queued task-end
+// event is current: scheduleEnd replaces a task's event in place
+// (Queue.UpdateTask) and finalize removes it (Queue.RemoveTask), so the
+// queue holds at most one live end event per task and there is nothing
+// stale to discard. Submit events are always valid; their Task field is
+// an arrival index, not a task index.
 func (e *Simulator) peekValid() (sim.Event, bool) {
-	for {
-		ev, ok := e.q.Peek()
-		if !ok {
-			return sim.Event{}, false
-		}
-		if ev.Kind == sim.KindSubmit {
-			return ev, true
-		}
-		s := &e.st[ev.Task]
-		if !s.done && ev.Version == s.endVer {
-			return ev, true
-		}
-		e.q.Pop()
-	}
+	return e.q.Peek()
 }
 
 // scheduleEnd recomputes task i's end-event time from its current state
-// and pushes a fresh (versioned) event.
+// and replaces the task's queued end event in place.
 func (e *Simulator) scheduleEnd(i int) {
 	s := &e.st[i]
 	switch e.opt.Semantics {
@@ -431,7 +451,7 @@ func (e *Simulator) scheduleEnd(i int) {
 		s.end = s.tU
 	}
 	s.endVer++
-	e.q.Push(sim.Event{Time: s.end, Kind: sim.KindTaskEnd, Task: i, Version: s.endVer})
+	e.q.UpdateTask(sim.Event{Time: s.end, Kind: sim.KindTaskEnd, Task: i, Version: s.endVer})
 }
 
 // finalize marks task i finished at time t and releases its processors.
@@ -450,11 +470,16 @@ func (e *Simulator) finalize(i int, t float64) {
 	}
 	s.done = true
 	s.finish = t
+	// Early finalizations (Algorithm 2 line 28) happen while the task's
+	// end event is still queued; drop it so no stale event surfaces. For
+	// finalizations triggered by the event itself this is a no-op — the
+	// pop already cleared the queue's index.
+	e.q.RemoveTask(i)
 	e.emit(TraceEvent{Time: t, Kind: "end", Task: i})
 	s.alpha = 0
 	s.lastSig = s.sigma
 	e.accrueBusy(t)
-	e.plat.ReleaseAll(i)
+	e.plat.ReleaseAllN(i)
 	s.sigma = 0
 	e.live--
 }
@@ -696,7 +721,7 @@ func (e *Simulator) commitRedist(i int, t float64, newSigma int, alphaT float64,
 		return nil
 	}
 	e.accrueBusy(t)
-	if _, _, err := e.plat.Resize(i, newSigma); err != nil {
+	if err := e.plat.ResizeN(i, newSigma); err != nil {
 		return fmt.Errorf("core: redistributing task %d: %w", i, err)
 	}
 	rc := e.cm.RedistCost(i, oldSigma, newSigma)

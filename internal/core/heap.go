@@ -1,90 +1,56 @@
 package core
 
-// taskHeap is a max-heap of task indices keyed by a caller-maintained
-// value (the expected finish time tU). The heuristics repeatedly pop the
-// longest task, possibly update its key, and reinsert it — exactly the
-// list discipline of Algorithms 1, 3 and 5. Ties break on the smaller
-// task index so runs are deterministic.
+// taskHeap is a max-priority pool of task indices keyed by a
+// caller-maintained value (the expected finish time tU). The heuristics
+// repeatedly pop the longest task, possibly update its key, and reinsert
+// it — exactly the list discipline of Algorithms 1, 3 and 5. Ties break
+// on the smaller task index so runs are deterministic.
 //
-// It is hand-rolled (no container/heap) so that push/pop never box the
-// indices, and build reuses the backing array: one heap lives inside a
-// Simulator for its whole lifetime.
+// The comparator (key descending, index ascending) is a total order, so
+// the popped element is unique no matter how the pool is stored.
+// Internally it is an unordered slice with a linear argmax pop rather
+// than a sifted binary heap: co-scheduling pools hold at most the live
+// tasks of a pack (a handful to a few dozen), where the scan beats the
+// sift's swap bookkeeping, and add/build degenerate to appends. The
+// interface and pop order are identical to the previous heap, and both
+// are pinned by the golden tests.
 type taskHeap struct {
-	idx []int     // heap of task indices
+	idx []int     // unordered pool of task indices
 	key []float64 // key per task index (shared with the engine)
 }
 
-// rebind points the heap at a (possibly re-grown) key slice and clears it.
+// rebind points the pool at a (possibly re-grown) key slice and clears it.
 func (h *taskHeap) rebind(key []float64) {
 	h.key = key
 	h.idx = h.idx[:0]
 }
 
-// less orders positions a, b of the heap (max-heap on key, min on index).
-func (h *taskHeap) less(a, b int) bool {
-	ia, ib := h.idx[a], h.idx[b]
-	if h.key[ia] != h.key[ib] {
-		return h.key[ia] > h.key[ib]
-	}
-	return ia < ib
-}
-
-func (h *taskHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.idx[i], h.idx[parent] = h.idx[parent], h.idx[i]
-		i = parent
-	}
-}
-
-func (h *taskHeap) down(i int) {
-	n := len(h.idx)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		child := l
-		if r := l + 1; r < n && h.less(r, l) {
-			child = r
-		}
-		if !h.less(child, i) {
-			return
-		}
-		h.idx[i], h.idx[child] = h.idx[child], h.idx[i]
-		i = child
-	}
-}
-
 // add inserts task i (its key must already be set).
 func (h *taskHeap) add(i int) {
 	h.idx = append(h.idx, i)
-	h.up(len(h.idx) - 1)
 }
 
-// popMax removes and returns the task with the largest key; ok is false
-// when empty.
+// popMax removes and returns the task with the largest key (ties to the
+// smaller index); ok is false when empty.
 func (h *taskHeap) popMax() (int, bool) {
-	if len(h.idx) == 0 {
+	n := len(h.idx)
+	if n == 0 {
 		return 0, false
 	}
-	v := h.idx[0]
-	n := len(h.idx) - 1
-	h.idx[0] = h.idx[n]
-	h.idx = h.idx[:n]
-	if n > 0 {
-		h.down(0)
+	best := 0
+	ib := h.idx[0]
+	for p := 1; p < n; p++ {
+		ia := h.idx[p]
+		if h.key[ia] > h.key[ib] || (h.key[ia] == h.key[ib] && ia < ib) {
+			best, ib = p, ia
+		}
 	}
-	return v, true
+	h.idx[best] = h.idx[n-1]
+	h.idx = h.idx[:n-1]
+	return ib, true
 }
 
-// build heapifies the given indices in place, reusing the backing array.
+// build loads the given indices, reusing the backing array.
 func (h *taskHeap) build(indices []int) {
 	h.idx = append(h.idx[:0], indices...)
-	for i := len(h.idx)/2 - 1; i >= 0; i-- {
-		h.down(i)
-	}
 }

@@ -27,6 +27,7 @@ type Decision struct {
 	faulty int // task index, or -1
 
 	mark      []uint64 // eligibility stamp per task
+	bound     []uint64 // evaluator-binding stamp per task (lazy, see bind)
 	round     uint64
 	elig      []int // shared with the simulator's eligibility buffer
 	sigmaInit []int
@@ -35,7 +36,10 @@ type Decision struct {
 	oldTU     []float64
 	tUc       []float64 // candidate tU, indexed by task (heap key)
 	evals     []model.MinEval
-	avail     int // free processors under the current candidate assignment
+	rcRow     []model.RedistRow // frozen-source Eq. (9) cost rows (lazy)
+	base      []float64         // t + extra(i), frozen per round (lazy)
+	ckRow     [][]float64       // post-redist ckpt surcharge rows (lazy)
+	avail     int               // free processors under the current candidate assignment
 }
 
 // resize grows the decision's arenas to n tasks, retaining capacity.
@@ -53,17 +57,34 @@ func (d *Decision) resize(e *Simulator, n int) {
 		d.mark = make([]uint64, n)
 	}
 	d.mark = d.mark[:n]
+	if cap(d.bound) < n {
+		d.bound = make([]uint64, n)
+	}
+	d.bound = d.bound[:n]
 	if cap(d.evals) < n {
 		d.evals = make([]model.MinEval, n)
 	}
 	d.evals = d.evals[:n]
+	if cap(d.rcRow) < n {
+		d.rcRow = make([]model.RedistRow, n)
+	}
+	d.rcRow = d.rcRow[:n]
+	growFloats(&d.base, n)
+	if cap(d.ckRow) < n {
+		d.ckRow = make([][]float64, n)
+	}
+	d.ckRow = d.ckRow[:n]
 }
 
 // beginDecision primes the scratch for one heuristic invocation over the
 // eligible tasks. For the faulty task the skeleton already rolled α back
-// to the last checkpoint; everyone else is frozen at alphaT(t). Each
-// eligible task gets one prefix-min evaluator bound to its frozen α,
-// memoizing every Eq. (6) query of the round.
+// to the last checkpoint; everyone else is frozen at alphaT(t). The
+// per-task evaluator binding (work fraction, prefix-min evaluator, cost
+// row) is deferred to the first Candidate query of the round — many
+// rounds touch only a few of the eligible tasks (Algorithm 3 stops when
+// the free pool runs dry, Algorithm 4 only looks at the faulty task and
+// its donors), and the engine state is frozen during the round, so a
+// late binding computes exactly what an eager one would have.
 func (e *Simulator) beginDecision(t float64, elig []int, faulty int) {
 	e.ctr.Decisions++
 	d := &e.d
@@ -78,13 +99,25 @@ func (e *Simulator) beginDecision(t float64, elig []int, faulty int) {
 		d.sigmaNew[i] = e.st[i].sigma
 		d.oldTU[i] = e.st[i].tU
 		d.tUc[i] = e.st[i].tU
-		if i == faulty {
-			d.alphaT[i] = e.st[i].alpha
-		} else {
-			d.alphaT[i] = e.alphaT(i, t)
-		}
-		d.evals[i].ResetCompiled(e.cm, i, d.alphaT[i])
 	}
+}
+
+// bind computes task i's frozen work fraction and rebinds its prefix-min
+// evaluator and redistribution-cost row, once per round, on first use.
+func (d *Decision) bind(i int) {
+	if d.bound[i] == d.round {
+		return
+	}
+	d.bound[i] = d.round
+	if i == d.faulty {
+		d.alphaT[i] = d.e.st[i].alpha
+	} else {
+		d.alphaT[i] = d.e.alphaT(i, d.t)
+	}
+	d.evals[i].ResetCompiled(d.e.cm, i, d.alphaT[i])
+	d.rcRow[i] = d.e.cm.RedistRowFrom(i, d.sigmaInit[i])
+	d.base[i] = d.t + d.extra(i)
+	d.ckRow[i] = d.e.cm.PostRedistCkptRow(i)
 }
 
 // Now returns the decision time t.
@@ -141,9 +174,22 @@ func (d *Decision) Candidate(i, cand int) float64 {
 	if cand == d.sigmaInit[i] {
 		return d.oldTU[i]
 	}
-	return d.t + d.extra(i) +
-		d.e.cm.RedistCost(i, d.sigmaInit[i], cand) +
-		d.e.cm.PostRedistCkpt(i, cand) +
+	d.bind(i)
+	// The sum below associates exactly as the pre-cached form
+	// t + extra + RC + C + t^R: base is the frozen (t + extra), and the
+	// checkpoint surcharge comes from the task's contiguous row (zero
+	// when fault-free, PostRedistCkpt for targets past the stride).
+	var ck float64
+	if row := d.ckRow[i]; row != nil {
+		if k := cand/2 - 1; k < len(row) {
+			ck = row[k]
+		} else {
+			ck = d.e.cm.PostRedistCkpt(i, cand)
+		}
+	}
+	return d.base[i] +
+		d.rcRow[i].Cost(cand) +
+		ck +
 		d.evals[i].At(cand)
 }
 
@@ -215,6 +261,9 @@ func (endLocalRule) RedistributeEnd(d *Decision) {
 		}
 		// Scan even extensions; the first improving one proves the task
 		// is improvable (lines 10–15), after which it grows by one pair.
+		// The scan usually breaks at its first candidate, so it is NOT
+		// eagerly primed: cache extensions stay demand-driven (each one
+		// is still a batched rawRange pass over the missing range).
 		improvable := false
 		for q := 2; q <= k; q += 2 {
 			if d.Candidate(i, d.sigmaNew[i]+q) < d.tUc[i] {
@@ -252,6 +301,10 @@ func iteratedGreedy(d *Decision) {
 			break
 		}
 		pmax := d.sigmaNew[i] + d.avail
+		// Not eagerly primed: after the reset to one pair the first
+		// candidate almost always improves, so a full-row pass through
+		// pmax would evaluate far more cells than the scan reads.
+		// Demand-driven extensions are still batched (rawRange).
 		improvable := false
 		for cand := d.sigmaNew[i] + 2; cand <= pmax; cand += 2 {
 			if d.Candidate(i, cand) < d.tUc[i] {

@@ -17,6 +17,11 @@ type Params struct {
 	Seed    uint64  // master seed (default 1)
 	Shrink  float64 // 0 or 1 = paper scale; 0.2 = fifth-scale platform
 	Workers int     // run parallelism (0 = GOMAXPROCS)
+	// Parallel enables the campaign runner's per-point parallel mode
+	// (see campaign.Options.Parallel): one grid point's replicate range
+	// is sharded across the whole worker pool, with byte-identical
+	// output for any worker count.
+	Parallel bool
 	// Precision, when set, runs the figure adaptively: each grid point
 	// burns replicates only until the target CI half-width is met
 	// (Reps is then ignored; the block's own min/max bounds apply).
@@ -261,6 +266,8 @@ func ByID(id string, pr Params) (Sweep, error) {
 		return Sweep{}, err
 	}
 	sw.Precision = pr.Precision
+	sw.Workers = pr.Workers
+	sw.Parallel = pr.Parallel
 	sw.Metrics = pr.Metrics
 	return sw, nil
 }

@@ -196,6 +196,46 @@ func (r *Renewal) Next() (Fault, bool) {
 	return Fault{Time: e.t, Proc: e.proc}, true
 }
 
+// Replay is the common-random-numbers source: it records the faults it
+// pulls from an inner generator and can rewind to serve the identical
+// stream again without touching the generator. A policy-comparison loop
+// arms the generator once, runs its first policy through a fresh Replay
+// and every later policy through Rewind — replays are pure slice reads
+// (no heap sifts, no RNG draws), and a policy that outlives the recorded
+// prefix transparently continues pulling (and recording) from the
+// generator, whose state sits exactly at the end of the prefix.
+type Replay struct {
+	gen Source
+	log []Fault
+	pos int
+}
+
+// Reset re-arms the replay over a freshly armed generator, discarding
+// the recorded prefix but keeping its capacity.
+func (r *Replay) Reset(gen Source) {
+	r.gen = gen
+	r.log = r.log[:0]
+	r.pos = 0
+}
+
+// Rewind restarts the recorded stream from the beginning.
+func (r *Replay) Rewind() { r.pos = 0 }
+
+// Next implements Source.
+func (r *Replay) Next() (Fault, bool) {
+	if r.pos < len(r.log) {
+		f := r.log[r.pos]
+		r.pos++
+		return f, true
+	}
+	f, ok := r.gen.Next()
+	if ok {
+		r.log = append(r.log, f)
+		r.pos++
+	}
+	return f, ok
+}
+
 // Poisson is the superposition fast path valid for the exponential law
 // only: platform-level failures arrive with rate p·λ and each strikes a
 // uniformly random processor. It is statistically identical to

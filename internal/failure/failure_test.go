@@ -179,6 +179,62 @@ func TestTraceReplayAndRewind(t *testing.T) {
 	}
 }
 
+// TestReplayRecordsAndRewinds pins the common-random-numbers source:
+// the rewound stream is identical to the recorded prefix, a consumer
+// outliving the prefix continues pulling from the generator exactly
+// where recording stopped, and Reset discards the log.
+func TestReplayRecordsAndRewinds(t *testing.T) {
+	gen, err := NewRenewal(4, Exponential{Lambda: 1e-3}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Replay
+	r.Reset(gen)
+	first := make([]Fault, 10)
+	for i := range first {
+		f, ok := r.Next()
+		if !ok {
+			t.Fatal("renewal-backed replay ended")
+		}
+		first[i] = f
+	}
+	// Reference continuation: an identical generator advanced past the
+	// same 10 draws tells us what the replay must produce after the
+	// recorded prefix runs out.
+	ref, err := NewRenewal(4, Exponential{Lambda: 1e-3}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ref.Next()
+	}
+	r.Rewind()
+	for i, want := range first {
+		got, ok := r.Next()
+		if !ok || got != want {
+			t.Fatalf("rewind draw %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, _ := r.Next()
+		want, _ := ref.Next()
+		if got != want {
+			t.Fatalf("post-prefix draw %d: got %+v, want %+v (generator state drifted)", i, got, want)
+		}
+	}
+	// A second rewind covers the grown log (10 recorded + 5 appended).
+	r.Rewind()
+	for i := 0; i < 15; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("grown log ended at %d", i)
+		}
+	}
+	r.Reset(gen)
+	if f, ok := r.Next(); !ok || f == first[0] {
+		t.Fatalf("Reset kept the old log head %+v", f)
+	}
+}
+
 func TestTraceRejectsUnordered(t *testing.T) {
 	if _, err := NewTrace([]Fault{{5, 0}, {1, 0}}); err == nil {
 		t.Fatal("unordered trace accepted")

@@ -15,31 +15,18 @@ const (
 	segSilent                // silent errors: segment = e^{λ_s j w}·(w + V_{i,j})
 )
 
-// compiledEntry caches every α-independent sub-expression of Eq. (2)–(4)
-// for one (task, even processor count) pair. All fields are derived from
-// the same Resilience primitives the direct path calls, so a compiled
-// query combines exactly the same float64 values in exactly the same
-// order as Resilience.ExpectedTimeRaw — the results are bit-identical,
-// not merely close (see DESIGN.md §9).
-type compiledEntry struct {
-	tj     float64 // t_{i,j}, fault-free execution time
-	ck     float64 // C_{i,j}, checkpoint cost
-	rec    float64 // R_{i,j}, recovery cost (the paper: R = C)
-	tau    float64 // τ_{i,j}, checkpointing period (+Inf fault-free)
-	work   float64 // τ_{i,j} − C_{i,j}, work per period (+Inf fault-free)
-	lj     float64 // λ·j, task failure rate
-	prefac float64 // e^{λj·R}·(1/λj + D), the Eq. (4) prefactor
-	expPer float64 // Expm1(λj·(silentSegment(τ−C) + C)), the period term
-	slj    float64 // λ_s·j, silent-error rate
-	v      float64 // V_{i,j} = V_i/j, verification cost
-}
-
 // Compiled is the compiled instance model: flat per-(task, allocation)
 // tables of every α-independent quantity the simulator queries in its
 // steady state. One Compiled serves one (Tasks, Resilience, CostModel, P)
 // instance; it is immutable after Compile/Recompile and therefore safe to
 // share read-only across goroutines (the campaign runner builds one per
 // grid point and hands it to every worker).
+//
+// Layout: struct-of-arrays. Each cached quantity is its own parallel
+// slice of length NumTasks·stride, indexed i·stride + j/2 − 1, so task
+// i's candidate row for one quantity is contiguous — the row kernel
+// (rawRange, surfaced as RawRow/MinOverRow) streams a whole row per
+// cache line instead of striding over 80-byte entries.
 //
 // RawAt(i, j, α) collapses Resilience.ExpectedTimeRaw to table lookups
 // plus the single α-dependent Expm1(λj·τ_last) term — same combination
@@ -52,9 +39,31 @@ type Compiled struct {
 	p      int
 	maxJ   int // largest even allocation covered by the tables
 	stride int // maxJ/2 entries per task
-	tab    []compiledEntry
-	seg    []segKind // per-task silent-segment mode
-	data   []float64 // per-task data volume m_i (redistribution cost)
+
+	// Per-(task, allocation) columns, each len NumTasks·stride. All are
+	// derived from the same Resilience primitives the direct path calls,
+	// so a compiled query combines exactly the same float64 values in
+	// exactly the same order as Resilience.ExpectedTimeRaw — the results
+	// are bit-identical, not merely close (see DESIGN.md §9, §12).
+	tj     []float64 // t_{i,j}, fault-free execution time
+	ck     []float64 // C_{i,j}, checkpoint cost
+	rec    []float64 // R_{i,j}, recovery cost (the paper: R = C)
+	tau    []float64 // τ_{i,j}, checkpointing period (+Inf fault-free)
+	work   []float64 // τ_{i,j} − C_{i,j}, work per period (+Inf fault-free)
+	lj     []float64 // λ·j, task failure rate
+	prefac []float64 // e^{λj·R}·(1/λj + D), the Eq. (4) prefactor
+	expPer []float64 // Expm1(λj·(silentSegment(τ−C) + C)), the period term
+	slj    []float64 // λ_s·j, silent-error rate
+	v      []float64 // V_{i,j} = V_i/j, verification cost
+
+	seg  []segKind // per-task silent-segment mode
+	data []float64 // per-task data volume m_i (redistribution cost)
+	// gen counts table rebuilds and extensions. A (pointer, Gen) pair
+	// identifies immutable table contents: any Recompile/AppendTask/
+	// TruncateExtra bumps it, so caches keyed on the pair (the engine's
+	// initial-schedule memo) can never serve values computed from a
+	// previous instance that reused this Compiled's storage.
+	gen uint64
 	// extra holds tasks appended after the base compile (online mode:
 	// jobs arriving over time get their rows appended, not a rebuild).
 	// It is owned by the Compiled — AppendTask copies the task value —
@@ -70,6 +79,35 @@ func Compile(tasks []Task, res Resilience, rc CostModel, p int) (*Compiled, erro
 		return nil, err
 	}
 	return c, nil
+}
+
+// sizeF resizes a float64 column to n entries, reusing capacity.
+func sizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// sizeColumns resizes every per-(task, allocation) column and the
+// per-task metadata to n tasks of the current stride, reusing capacity.
+func (c *Compiled) sizeColumns(n int) {
+	cells := n * c.stride
+	c.tj = sizeF(c.tj, cells)
+	c.ck = sizeF(c.ck, cells)
+	c.rec = sizeF(c.rec, cells)
+	c.tau = sizeF(c.tau, cells)
+	c.work = sizeF(c.work, cells)
+	c.lj = sizeF(c.lj, cells)
+	c.prefac = sizeF(c.prefac, cells)
+	c.expPer = sizeF(c.expPer, cells)
+	c.slj = sizeF(c.slj, cells)
+	c.v = sizeF(c.v, cells)
+	if cap(c.seg) < n {
+		c.seg = make([]segKind, n)
+	}
+	c.seg = c.seg[:n]
+	c.data = sizeF(c.data, n)
 }
 
 // Recompile rebuilds the tables in place for a new instance, reusing the
@@ -92,24 +130,14 @@ func (c *Compiled) Recompile(tasks []Task, res Resilience, rc CostModel, p int) 
 		}
 	}
 	n := len(tasks)
+	c.gen++
 	c.tasks = tasks
 	c.res = res
 	c.rc = rc
 	c.p = p
 	c.maxJ = p - p%2
 	c.stride = c.maxJ / 2
-	if cap(c.tab) < n*c.stride {
-		c.tab = make([]compiledEntry, n*c.stride)
-	}
-	c.tab = c.tab[:n*c.stride]
-	if cap(c.seg) < n {
-		c.seg = make([]segKind, n)
-	}
-	c.seg = c.seg[:n]
-	if cap(c.data) < n {
-		c.data = make([]float64, n)
-	}
-	c.data = c.data[:n]
+	c.sizeColumns(n)
 
 	c.extra = c.extra[:0]
 	for i, t := range tasks {
@@ -118,10 +146,100 @@ func (c *Compiled) Recompile(tasks []Task, res Resilience, rc CostModel, p int) 
 	return nil
 }
 
+// RecompileFaultFree rebuilds the tables for the fault-free limit of an
+// already-compiled base instance: same tasks and platform, a Resilience
+// with failures disabled. The profile-derived columns (t_{i,j}, C_{i,j},
+// R_{i,j}, V_{i,j}, m_i) do not depend on the resilience parameters, so
+// they are copied from base instead of recomputed — this skips the
+// Time/division work that dominates compile cost, and a copied column is
+// trivially bit-identical to a recomputed one. τ and τ−C become +Inf and
+// λ_s·j becomes 0, exactly the values compileTask produces when λ = 0;
+// the failure-only columns (λj, prefactor, period term) are left stale,
+// the same never-read-when-λ=0 contract Recompile relies on. When the
+// base does not match (different tasks, platform, or appended rows) or
+// res is not fault-free, it falls back to a full Recompile.
+func (c *Compiled) RecompileFaultFree(base *Compiled, tasks []Task, res Resilience, rc CostModel, p int) error {
+	if base == nil || base == c || !res.FaultFree() ||
+		len(base.extra) != 0 || base.p != p || len(base.tj) == 0 ||
+		len(tasks) != len(base.tasks) || len(tasks) == 0 || &tasks[0] != &base.tasks[0] {
+		return c.Recompile(tasks, res, rc, p)
+	}
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	n := len(tasks)
+	c.gen++
+	c.tasks = tasks
+	c.res = res
+	c.rc = rc
+	c.p = p
+	c.maxJ = base.maxJ
+	c.stride = base.stride
+	c.sizeColumns(n)
+	copy(c.tj, base.tj)
+	copy(c.ck, base.ck)
+	copy(c.rec, base.rec)
+	copy(c.v, base.v)
+	copy(c.data, base.data)
+	inf := math.Inf(1)
+	for k := range c.tau {
+		c.tau[k] = inf
+		c.work[k] = inf
+		c.slj[k] = 0 // λ_s must be 0 here (Validate: silent needs λ > 0)
+	}
+	for i, t := range tasks {
+		if t.Verify != 0 {
+			c.seg[i] = segVerify
+		} else {
+			c.seg[i] = segPlain
+		}
+	}
+	c.extra = c.extra[:0]
+	return nil
+}
+
+// fillTimes computes t_{i,j} for every covered allocation into dst
+// (dst[k] is j = 2(k+1)). The Synthetic profile's per-task constants —
+// t(m,1) and log2 m are j-independent — are hoisted out of the row loop;
+// the per-j expression keeps Synthetic.Time's operation grouping
+// exactly ((f·t1 + ((1−f)·t1)/q) + (m/q)·log2 m), so the hoisted values
+// are bit-identical to per-j Time calls. The (m/q)·log2 m term must NOT
+// be reassociated to (m·log2 m)/q: exactness forces the scalar order
+// here. Other profiles take the generic per-j path.
+func fillTimes(t Task, dst []float64) {
+	s, ok := t.Profile.(Synthetic)
+	if !ok {
+		if sp, okp := t.Profile.(*Synthetic); okp {
+			s, ok = *sp, true
+		}
+	}
+	if !ok {
+		for k := range dst {
+			dst[k] = t.Time(2 * (k + 1))
+		}
+		return
+	}
+	lg := math.Log2(s.M)
+	t1 := 2 * s.M * lg
+	c1 := s.SeqFraction * t1
+	c2 := (1 - s.SeqFraction) * t1
+	for k := range dst {
+		q := float64(2 * (k + 1))
+		dst[k] = c1 + c2/q + s.M/q*lg
+	}
+}
+
 // compileTask fills task slot i's seg/data metadata and table row from t.
 // It is the single per-task compile path, shared by Recompile and
 // AppendTask, so appended rows combine exactly the same float64 values in
 // exactly the same order as a full rebuild (bit-identical tables).
+//
+// The Resilience primitives are inlined over the row (Time via
+// fillTimes; C_{i,j} = C_i/j, R = C, V_{i,j} = V_i/j, Young/Daly period
+// over µ = 1/λj, silentSegment by seg kind) — each inline performs the
+// same float64 operations in the same order as the method it replaces,
+// so the tables stay bit-identical to per-j primitive calls (pinned by
+// TestCompiledMatchesDirect).
 func (c *Compiled) compileTask(i int, t Task) {
 	res := c.res
 	c.data[i] = t.Data
@@ -133,28 +251,70 @@ func (c *Compiled) compileTask(i int, t Task) {
 	default:
 		c.seg[i] = segPlain
 	}
-	row := c.tab[i*c.stride : (i+1)*c.stride]
-	for k := range row {
-		j := 2 * (k + 1)
-		en := &row[k]
-		en.tj = t.Time(j)
-		en.ck = res.CkptCost(t, j)
-		en.rec = res.Recovery(t, j)
-		en.tau = res.Period(t, j)
-		en.work = en.tau - en.ck
-		en.v = res.VerifyCost(t, j)
-		en.slj = res.SilentLambda * float64(j)
+	sk := c.seg[i]
+	lo, hi := i*c.stride, (i+1)*c.stride
+	tjs := c.tj[lo:hi]
+	fillTimes(t, tjs)
+	cks := c.ck[lo:hi]
+	recs := c.rec[lo:hi]
+	taus := c.tau[lo:hi]
+	works := c.work[lo:hi]
+	vs := c.v[lo:hi]
+	sljs := c.slj[lo:hi]
+	ljs := c.lj[lo:hi]
+	prefacs := c.prefac[lo:hi]
+	expPers := c.expPer[lo:hi]
+	inf := math.Inf(1)
+	for k := range cks {
+		jf := float64(2 * (k + 1))
+		ck := t.Ckpt / jf
+		cks[k] = ck
+		recs[k] = ck // Recovery = CkptCost (paper: R = C)
+		vs[k] = t.Verify / jf
+		sljs[k] = res.SilentLambda * jf
 		if res.Lambda == 0 {
 			// Fault-free limit: only tj matters (tau/work are +Inf,
-			// RawAt never reads the failure terms).
+			// RawAt never reads the failure terms, which stay stale).
+			taus[k] = inf
+			works[k] = inf
 			continue
 		}
-		en.lj = res.Rate(j)
+		lj := res.Lambda * jf // Resilience.Rate
+		ljs[k] = lj
+		// Resilience.Period inlined: µ = MTBF(j) = 1/λj, then Young's
+		// τ = sqrt(2µC) + C (Eq. 1) or Daly's higher-order estimate.
+		mu := 1 / lj
+		var tau float64
+		if res.Rule == PeriodDaly {
+			if ck >= 2*mu {
+				tau = mu + ck
+			} else {
+				x := ck / (2 * mu)
+				tau = math.Sqrt(2*mu*ck) * (1 + math.Sqrt(x)/3 + x/9)
+			}
+		} else {
+			tau = math.Sqrt(2*mu*ck) + ck
+		}
+		taus[k] = tau
+		work := tau - ck
+		works[k] = work
 		// Same combination order as ExpectedTimeRaw: the prefactor is
 		// Exp(λjR)·(1/λj + D), and the period term is Expm1 of λj
-		// times the (possibly silent-inflated) period.
-		en.prefac = math.Exp(en.lj*en.rec) * (1/en.lj + res.Downtime)
-		en.expPer = math.Expm1(en.lj * (res.silentSegment(t, j, en.work) + en.ck))
+		// times the (possibly silent-inflated) period; silentSegment's
+		// branch structure is reproduced over the precomputed V and λ_s·j.
+		prefacs[k] = math.Exp(lj*recs[k]) * (1/lj + res.Downtime)
+		var segw float64
+		switch {
+		case work <= 0:
+			segw = 0
+		case sk == segPlain:
+			segw = work
+		case sk == segVerify:
+			segw = work + vs[k]
+		default:
+			segw = math.Exp(sljs[k]*work) * (work + vs[k])
+		}
+		expPers[k] = math.Expm1(lj * (segw + ck))
 	}
 }
 
@@ -164,26 +324,41 @@ func (c *Compiled) compileTask(i int, t Task) {
 // (and the Matches identity contract over it) is untouched. It returns
 // the appended task's index.
 func (c *Compiled) AppendTask(t Task) (int, error) {
-	if len(c.tab) == 0 {
+	if len(c.tj) == 0 {
 		return 0, fmt.Errorf("model: AppendTask on an empty Compiled (compile a base instance first)")
 	}
 	if t.Profile == nil {
 		return 0, fmt.Errorf("model: appended task has no speedup profile")
 	}
 	i := c.NumTasks()
+	c.gen++
 	c.extra = append(c.extra, t)
-	// Grow the row without a temporary: compileTask overwrites every
+	// Grow each column without a temporary: compileTask overwrites every
 	// field it reads (stale failure terms in reused capacity are never
 	// read when λ = 0, the same contract Recompile relies on).
-	if need := len(c.tab) + c.stride; cap(c.tab) >= need {
-		c.tab = c.tab[:need]
-	} else {
-		c.tab = append(c.tab, make([]compiledEntry, c.stride)...)
-	}
+	c.tj = growRow(c.tj, c.stride)
+	c.ck = growRow(c.ck, c.stride)
+	c.rec = growRow(c.rec, c.stride)
+	c.tau = growRow(c.tau, c.stride)
+	c.work = growRow(c.work, c.stride)
+	c.lj = growRow(c.lj, c.stride)
+	c.prefac = growRow(c.prefac, c.stride)
+	c.expPer = growRow(c.expPer, c.stride)
+	c.slj = growRow(c.slj, c.stride)
+	c.v = growRow(c.v, c.stride)
 	c.seg = append(c.seg, 0)
 	c.data = append(c.data, 0)
 	c.compileTask(i, t)
 	return i, nil
+}
+
+// growRow extends a column by one stride's worth of cells, reusing spare
+// capacity without zeroing it (compileTask overwrites what it reads).
+func growRow(s []float64, stride int) []float64 {
+	if need := len(s) + stride; cap(s) >= need {
+		return s[:need]
+	}
+	return append(s, make([]float64, stride)...)
 }
 
 // TruncateExtra drops every appended task, restoring the tables to the
@@ -195,8 +370,19 @@ func (c *Compiled) TruncateExtra() {
 	if len(c.extra) == 0 {
 		return
 	}
+	c.gen++
 	n := len(c.tasks)
-	c.tab = c.tab[:n*c.stride]
+	cells := n * c.stride
+	c.tj = c.tj[:cells]
+	c.ck = c.ck[:cells]
+	c.rec = c.rec[:cells]
+	c.tau = c.tau[:cells]
+	c.work = c.work[:cells]
+	c.lj = c.lj[:cells]
+	c.prefac = c.prefac[:cells]
+	c.expPer = c.expPer[:cells]
+	c.slj = c.slj[:cells]
+	c.v = c.v[:cells]
 	c.seg = c.seg[:n]
 	c.data = c.data[:n]
 	c.extra = c.extra[:0]
@@ -221,7 +407,7 @@ func (c *Compiled) task(i int) Task {
 // (AppendTask without a TruncateExtra) never match: they describe a grown
 // instance, not the base one.
 func (c *Compiled) Matches(tasks []Task, res Resilience, rc CostModel, p int) bool {
-	return len(c.tab) > 0 && len(c.extra) == 0 &&
+	return len(c.tj) > 0 && len(c.extra) == 0 &&
 		len(tasks) == len(c.tasks) &&
 		len(tasks) > 0 && &tasks[0] == &c.tasks[0] &&
 		res == c.res && rc == c.rc && p == c.p
@@ -239,10 +425,15 @@ func (c *Compiled) P() int { return c.p }
 // MaxJ returns the largest even allocation covered by the tables.
 func (c *Compiled) MaxJ() int { return c.maxJ }
 
-// entry returns the table slot of (task i, even allocation j); callers
+// Gen returns the table-content generation: it changes on every
+// Recompile, RecompileFaultFree, AppendTask and TruncateExtra, so a
+// (pointer, Gen) pair identifies one immutable set of tables.
+func (c *Compiled) Gen() uint64 { return c.gen }
+
+// cell returns the column index of (task i, even allocation j); callers
 // guarantee 2 ≤ j ≤ maxJ and j even (the simulator's buddy invariant).
-func (c *Compiled) entry(i, j int) *compiledEntry {
-	return &c.tab[i*c.stride+j/2-1]
+func (c *Compiled) cell(i, j int) int {
+	return i*c.stride + j/2 - 1
 }
 
 // covered reports whether allocation j is served by the tables; queries
@@ -264,12 +455,12 @@ func (c *Compiled) RawAt(i, j int, alpha float64) float64 {
 	if alpha > 1 {
 		alpha = 1
 	}
-	en := c.entry(i, j)
+	k := c.cell(i, j)
 	if c.res.Lambda == 0 {
-		return alpha * en.tj
+		return alpha * c.tj[k]
 	}
-	n := float64(ffCount(alpha, en.tj, en.work))
-	tauLast := alpha*en.tj - n*en.work
+	n := float64(ffCount(alpha, c.tj[k], c.work[k]))
+	tauLast := alpha*c.tj[k] - n*c.work[k]
 	// Inline of silentSegment(τ_last) over the precomputed V and λ_s·j;
 	// the branch structure matches silent.go exactly.
 	var last float64
@@ -279,11 +470,133 @@ func (c *Compiled) RawAt(i, j int, alpha float64) float64 {
 	case c.seg[i] == segPlain:
 		last = tauLast
 	case c.seg[i] == segVerify:
-		last = tauLast + en.v
+		last = tauLast + c.v[k]
 	default:
-		last = math.Exp(en.slj*tauLast) * (tauLast + en.v)
+		last = math.Exp(c.slj[k]*tauLast) * (tauLast + c.v[k])
 	}
-	return en.prefac * (n*en.expPer + math.Expm1(en.lj*last))
+	return c.prefac[k] * (n*c.expPer[k] + math.Expm1(c.lj[k]*last))
+}
+
+// rawRange fills dst[k−lo] = RawAt(i, 2(k+1), α) for row indices
+// k ∈ [lo, hi) in one pass over task i's contiguous columns. The α
+// clamps, the λ = 0 test and the task's segment kind are hoisted out of
+// the loop (they are element-independent); every per-element operation
+// — ffCount's float→int floor, α·t_{i,j} − n·(τ−C), the silentSegment
+// branch on τ_last, prefac·(n·expPer + Expm1(λj·τ_last)) — keeps the
+// scalar combination order of RawAt exactly, so each dst element is
+// bit-identical to the corresponding scalar call (pinned by
+// TestRawRowMatchesScalar). Row indices at or beyond the table stride
+// (allocations past the platform) fall back per element to the direct
+// path, exactly as scalar RawAt does for uncovered j.
+func (c *Compiled) rawRange(i int, alpha float64, lo, hi int, dst []float64) {
+	d := dst[:hi-lo]
+	kernHi := hi
+	if kernHi > c.stride {
+		kernHi = c.stride
+	}
+	for k := kernHi; k < hi; k++ {
+		if k < lo {
+			continue
+		}
+		d[k-lo] = c.res.ExpectedTimeRaw(c.task(i), 2*(k+1), alpha)
+	}
+	if lo >= kernHi {
+		return
+	}
+	d = d[:kernHi-lo]
+	if alpha <= 0 {
+		for k := range d {
+			d[k] = 0
+		}
+		return
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	base := i * c.stride
+	tj := c.tj[base+lo : base+kernHi]
+	if c.res.Lambda == 0 {
+		for k, t := range tj {
+			d[k] = alpha * t
+		}
+		return
+	}
+	work := c.work[base+lo : base+kernHi]
+	lj := c.lj[base+lo : base+kernHi]
+	prefac := c.prefac[base+lo : base+kernHi]
+	expPer := c.expPer[base+lo : base+kernHi]
+	switch c.seg[i] {
+	case segPlain:
+		for k := range d {
+			n := float64(ffCount(alpha, tj[k], work[k]))
+			tauLast := alpha*tj[k] - n*work[k]
+			var last float64
+			if tauLast <= 0 {
+				last = 0
+			} else {
+				last = tauLast
+			}
+			d[k] = prefac[k] * (n*expPer[k] + math.Expm1(lj[k]*last))
+		}
+	case segVerify:
+		v := c.v[base+lo : base+kernHi]
+		for k := range d {
+			n := float64(ffCount(alpha, tj[k], work[k]))
+			tauLast := alpha*tj[k] - n*work[k]
+			var last float64
+			if tauLast <= 0 {
+				last = 0
+			} else {
+				last = tauLast + v[k]
+			}
+			d[k] = prefac[k] * (n*expPer[k] + math.Expm1(lj[k]*last))
+		}
+	default: // segSilent
+		v := c.v[base+lo : base+kernHi]
+		slj := c.slj[base+lo : base+kernHi]
+		for k := range d {
+			n := float64(ffCount(alpha, tj[k], work[k]))
+			tauLast := alpha*tj[k] - n*work[k]
+			var last float64
+			if tauLast <= 0 {
+				last = 0
+			} else {
+				last = math.Exp(slj[k]*tauLast) * (tauLast + v[k])
+			}
+			d[k] = prefac[k] * (n*expPer[k] + math.Expm1(lj[k]*last))
+		}
+	}
+}
+
+// RawRow evaluates every candidate allocation of task i in one pass over
+// the task's contiguous table row: dst[k] = RawAt(i, 2(k+1), α) for
+// k < len(dst). Values are bit-identical to per-candidate RawAt calls —
+// the batched loop keeps the scalar combination order per element (see
+// rawRange). len(dst) may exceed the table stride; the excess falls back
+// to the direct path like any uncovered allocation. It returns dst.
+func (c *Compiled) RawRow(i int, alpha float64, dst []float64) []float64 {
+	c.rawRange(i, alpha, 0, len(dst), dst)
+	return dst
+}
+
+// MinOverRow fills dst like RawRow and reduces it to the minimum raw
+// value and the smallest candidate allocation attaining it (strict <
+// keeps the smallest j on ties, matching MinEval.Threshold's scan
+// order). The reduction runs over the filled row with no memory traffic
+// beyond the row itself, so the compiler keeps the running min in
+// registers. An empty dst returns (+Inf, 0).
+func (c *Compiled) MinOverRow(i int, alpha float64, dst []float64) (float64, int) {
+	if len(dst) == 0 {
+		return math.Inf(1), 0
+	}
+	c.rawRange(i, alpha, 0, len(dst), dst)
+	best, arg := dst[0], 0
+	for k := 1; k < len(dst); k++ {
+		if dst[k] < best {
+			best, arg = dst[k], k
+		}
+	}
+	return best, 2 * (arg + 1)
 }
 
 // Time returns t_{i,j} (Task.Time of task i).
@@ -291,7 +604,7 @@ func (c *Compiled) Time(i, j int) float64 {
 	if !c.covered(j) {
 		return c.task(i).Time(j)
 	}
-	return c.entry(i, j).tj
+	return c.tj[c.cell(i, j)]
 }
 
 // Period returns τ_{i,j} (Resilience.Period).
@@ -299,7 +612,7 @@ func (c *Compiled) Period(i, j int) float64 {
 	if !c.covered(j) {
 		return c.res.Period(c.task(i), j)
 	}
-	return c.entry(i, j).tau
+	return c.tau[c.cell(i, j)]
 }
 
 // CkptCost returns C_{i,j} (Resilience.CkptCost).
@@ -307,7 +620,7 @@ func (c *Compiled) CkptCost(i, j int) float64 {
 	if !c.covered(j) {
 		return c.res.CkptCost(c.task(i), j)
 	}
-	return c.entry(i, j).ck
+	return c.ck[c.cell(i, j)]
 }
 
 // Recovery returns R_{i,j} (Resilience.Recovery).
@@ -315,7 +628,7 @@ func (c *Compiled) Recovery(i, j int) float64 {
 	if !c.covered(j) {
 		return c.res.Recovery(c.task(i), j)
 	}
-	return c.entry(i, j).rec
+	return c.rec[c.cell(i, j)]
 }
 
 // PostRedistCkpt returns the §3.3.2 post-redistribution checkpoint
@@ -327,6 +640,20 @@ func (c *Compiled) PostRedistCkpt(i, j int) float64 {
 	return c.CkptCost(i, j)
 }
 
+// PostRedistCkptRow returns task i's post-redistribution checkpoint
+// surcharges as a contiguous row indexed j/2 − 1, valid for even j in
+// [2, 2·len(row)], or nil when the surcharge is identically zero
+// (fault-free instances). Targets beyond the row (per-arrival extras
+// past the compiled stride) must go through PostRedistCkpt. The row
+// aliases the compiled tables: it is invalidated by the next
+// Recompile/AppendTask/TruncateExtra.
+func (c *Compiled) PostRedistCkptRow(i int) []float64 {
+	if c.res.Lambda == 0 {
+		return nil
+	}
+	return c.ck[i*c.stride : (i+1)*c.stride]
+}
+
 // FFCheckpoints returns N^ff_{i,j}(α) (Resilience.FFCheckpoints).
 func (c *Compiled) FFCheckpoints(i, j int, alpha float64) int {
 	if !c.covered(j) {
@@ -335,8 +662,8 @@ func (c *Compiled) FFCheckpoints(i, j int, alpha float64) int {
 	if alpha <= 0 || c.res.Lambda == 0 {
 		return 0
 	}
-	en := c.entry(i, j)
-	return ffCount(alpha, en.tj, en.work)
+	k := c.cell(i, j)
+	return ffCount(alpha, c.tj[k], c.work[k])
 }
 
 // FFTime returns the deterministic fault-free completion time including
@@ -351,12 +678,12 @@ func (c *Compiled) FFTime(i, j int, alpha float64) float64 {
 	if alpha > 1 {
 		alpha = 1
 	}
-	en := c.entry(i, j)
+	k := c.cell(i, j)
 	if c.res.Lambda == 0 {
-		return alpha * en.tj
+		return alpha * c.tj[k]
 	}
-	n := ffCount(alpha, en.tj, en.work)
-	return alpha*en.tj + float64(n)*en.ck
+	n := ffCount(alpha, c.tj[k], c.work[k])
+	return alpha*c.tj[k] + float64(n)*c.ck[k]
 }
 
 // RedistCost returns RC_i^{j→k} under the instance's cost model, with
@@ -366,4 +693,54 @@ func (c *Compiled) FFTime(i, j int, alpha float64) float64 {
 // implementation keeps the compiled and direct paths from diverging.
 func (c *Compiled) RedistCost(i, j, k int) float64 {
 	return c.rc.Cost(c.data[i], j, k)
+}
+
+// RedistRow evaluates RC_i^{j→k} for one task out of a frozen source
+// allocation j, with the m_i/j factor hoisted at construction. A
+// decision round freezes the source allocation of every task it
+// considers, so its candidate loop pays one division and the round
+// count per candidate instead of the full CostModel.Cost prologue.
+// Cost(k) is bit-identical to CostModel.Cost(m_i, j, k): the hoisted
+// m/j is the same first division of Cost's m/j/k chain, and the
+// remaining operations are applied in Cost's exact order.
+type RedistRow struct {
+	rc CostModel
+	mj float64 // m_i / j
+	j  int
+}
+
+// RedistRowFrom builds the frozen-source cost row of task i at source
+// allocation j.
+func (c *Compiled) RedistRowFrom(i, j int) RedistRow {
+	if j <= 0 {
+		panic("model: redistribution cost row with non-positive source")
+	}
+	return RedistRow{rc: c.rc, mj: c.data[i] / float64(j), j: j}
+}
+
+// Cost returns the redistribution time to target allocation k; see
+// RedistRow.
+func (r RedistRow) Cost(k int) float64 {
+	if k <= 0 {
+		panic("model: redistribution cost with non-positive target")
+	}
+	if k == r.j {
+		return 0
+	}
+	diff := k - r.j
+	if diff < 0 {
+		diff = -diff
+	}
+	rounds := r.j
+	if k < rounds {
+		rounds = k
+	}
+	if diff > rounds {
+		rounds = diff
+	}
+	ib := r.rc.InvBandwidth
+	if ib == 0 {
+		ib = 1
+	}
+	return float64(rounds) * (r.rc.Latency + r.mj/float64(k)*ib)
 }

@@ -212,12 +212,12 @@ func TestRecompileReusesArenas(t *testing.T) {
 	if err := c.Recompile(cases[0].tasks, cases[0].res, CostModel{}, 32); err != nil {
 		t.Fatal(err)
 	}
-	before := cap(c.tab)
+	before := cap(c.tj)
 	if err := c.Recompile(cases[2].tasks, cases[2].res, CostModel{}, 32); err != nil {
 		t.Fatal(err)
 	}
-	if cap(c.tab) != before {
-		t.Fatalf("recompile grew the table arena: %d → %d", before, cap(c.tab))
+	if cap(c.tj) != before {
+		t.Fatalf("recompile grew the table arena: %d → %d", before, cap(c.tj))
 	}
 	task := cases[2].tasks[1]
 	want := cases[2].res.ExpectedTimeRaw(task, 8, 0.5)
@@ -240,6 +240,31 @@ func BenchmarkCompiledAt(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = c.RawAt(0, 2+(i%128)*2, 0.8)
+	}
+}
+
+// rowSweepSink keeps the compiler from eliding the benchmark reduction.
+var rowSweepSink float64
+
+// BenchmarkCandidateRowSweep measures the batched row kernel: one
+// MinOverRow pass over all 128 candidate allocations of a task
+// (p = 256), the per-(task, round) unit of work behind Decision's
+// heuristics — the batched counterpart of 128 BenchmarkCompiledAt
+// queries. α varies per iteration so the α-dependent tail term is
+// recomputed every sweep, as it is in a live decision round.
+func BenchmarkCandidateRowSweep(b *testing.B) {
+	task, res := synthTask(2e6), defaultRes()
+	c, err := Compile([]Task{task}, res, CostModel{}, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]float64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alpha := 0.5 + float64(i%16)/32
+		v, _ := c.MinOverRow(0, alpha, row)
+		rowSweepSink = v
 	}
 }
 

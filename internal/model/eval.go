@@ -68,20 +68,54 @@ func (e *MinEval) At(j int) float64 {
 		panic(fmt.Sprintf("model: MinEval.At with j=%d (want positive even)", j))
 	}
 	k := j/2 - 1
-	for len(e.mins) <= k {
-		next := 2 * (len(e.mins) + 1)
-		var raw float64
-		if e.c != nil {
-			raw = e.c.RawAt(e.ti, next, e.alpha)
-		} else {
-			raw = e.r.ExpectedTimeRaw(e.t, next, e.alpha)
-		}
-		if n := len(e.mins); n > 0 && e.mins[n-1] < raw {
-			raw = e.mins[n-1]
-		}
-		e.mins = append(e.mins, raw)
+	if len(e.mins) <= k {
+		e.extend(k)
 	}
 	return e.mins[k]
+}
+
+// Prime extends the prefix-min cache through candidate maxJ in one
+// batched row-kernel pass, so a subsequent ascending candidate scan hits
+// only cached values. Scans that would touch most of the range anyway
+// (the greedy insertion and improvability tests of Algorithms 1/4/5 scan
+// to the platform size unless they break early) trade their per-step
+// incremental extensions for one contiguous sweep. A maxJ below 2 or
+// already covered is a no-op.
+func (e *MinEval) Prime(maxJ int) {
+	k := maxJ/2 - 1
+	if k >= 0 && len(e.mins) <= k {
+		e.extend(k)
+	}
+}
+
+// extend grows the prefix-min cache through row index k. Compiled-backed
+// evaluators fill the whole missing range with one rawRange pass over
+// the task's contiguous table row, then fold the Eq. (6) prefix minimum
+// in ascending index order with the exact comparison of the incremental
+// path (prev < raw → keep prev) — the fold must stay scalar and ordered,
+// since each cached value is defined in terms of its predecessor; the
+// raw fills themselves are batched. Direct-path evaluators fill
+// element-wise, as before.
+func (e *MinEval) extend(k int) {
+	lo := len(e.mins)
+	if cap(e.mins) <= k {
+		grown := make([]float64, len(e.mins), 2*(k+1))
+		copy(grown, e.mins)
+		e.mins = grown
+	}
+	e.mins = e.mins[:k+1]
+	if e.c != nil {
+		e.c.rawRange(e.ti, e.alpha, lo, k+1, e.mins[lo:])
+	} else {
+		for kk := lo; kk <= k; kk++ {
+			e.mins[kk] = e.r.ExpectedTimeRaw(e.t, 2*(kk+1), e.alpha)
+		}
+	}
+	for kk := lo; kk <= k; kk++ {
+		if kk > 0 && e.mins[kk-1] < e.mins[kk] {
+			e.mins[kk] = e.mins[kk-1]
+		}
+	}
 }
 
 // Threshold returns the smallest even processor count in [2, maxJ] that

@@ -184,6 +184,85 @@ func (pl *Platform) ReleaseAll(task int) []int {
 	return released
 }
 
+// AllocN is Alloc without materializing the granted-ID list: the free
+// pairs move to the task and the ownership map updates, but no scratch
+// slice is built or sorted. The simulation engine uses it on the paths
+// that ignore the granted IDs (fault attribution goes through Owner),
+// so the per-event cost is the pair-stack operations alone.
+func (pl *Platform) AllocN(task, count int) error {
+	if task < 0 {
+		return fmt.Errorf("platform: invalid task ID %d", task)
+	}
+	if count <= 0 || count%2 != 0 {
+		return fmt.Errorf("platform: allocation of %d processors must be positive and even", count)
+	}
+	pairs := count / 2
+	if pairs > len(pl.free) {
+		return fmt.Errorf("platform: requested %d processors, only %d free", count, pl.FreeProcs())
+	}
+	pl.grow(task)
+	for i := 0; i < pairs; i++ {
+		k := pl.free[len(pl.free)-1]
+		pl.free = pl.free[:len(pl.free)-1]
+		pl.byTask[task] = append(pl.byTask[task], k)
+		pl.owner[2*k] = task
+		pl.owner[2*k+1] = task
+	}
+	return nil
+}
+
+// ReleaseN is Release without materializing the released-ID list; see
+// AllocN. The pair-release order (most recently allocated first) is
+// identical to Release's.
+func (pl *Platform) ReleaseN(task, count int) error {
+	if count <= 0 || count%2 != 0 {
+		return fmt.Errorf("platform: release of %d processors must be positive and even", count)
+	}
+	pairs := count / 2
+	owned := pl.pairs(task)
+	if pairs > len(owned) {
+		return fmt.Errorf("platform: task %d owns %d processors, cannot release %d", task, 2*len(owned), count)
+	}
+	for i := 0; i < pairs; i++ {
+		k := owned[len(owned)-1]
+		owned = owned[:len(owned)-1]
+		pl.free = append(pl.free, k)
+		pl.owner[2*k] = Free
+		pl.owner[2*k+1] = Free
+	}
+	pl.byTask[task] = owned
+	return nil
+}
+
+// ReleaseAllN is ReleaseAll without materializing the released-ID list;
+// see AllocN.
+func (pl *Platform) ReleaseAllN(task int) {
+	n := pl.Count(task)
+	if n == 0 {
+		return
+	}
+	if err := pl.ReleaseN(task, n); err != nil {
+		// Unreachable: Count(task) processors are owned by construction.
+		panic(err)
+	}
+}
+
+// ResizeN is Resize without materializing the added/removed ID lists;
+// see AllocN.
+func (pl *Platform) ResizeN(task, count int) error {
+	if count < 0 || count%2 != 0 {
+		return fmt.Errorf("platform: target allocation %d must be non-negative and even", count)
+	}
+	cur := pl.Count(task)
+	switch {
+	case count > cur:
+		return pl.AllocN(task, count-cur)
+	case count < cur:
+		return pl.ReleaseN(task, cur-count)
+	}
+	return nil
+}
+
 // Resize changes the task's allocation to exactly count processors,
 // allocating or releasing as needed. It returns the processors added and
 // removed (one of the two is always empty; both share the scratch buffer
