@@ -36,22 +36,35 @@ import (
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// realMain is the whole CLI behind one error return, so every exit —
+// including failures after campaign.Run — flows through the same
+// cleanup path: deferred profile flushes, the final heartbeat line and
+// its file close, the manifest close, and the metrics server shutdown.
+// (A bare os.Exit used to skip all of those on error.)
+func realMain() error {
 	var (
-		specPath  = flag.String("spec", "", "JSON scenario spec file")
-		figure    = flag.String("figure", "", "run a paper figure (5a 5b 6a 6b 7 8 10 11 12 13a 13b 13c 14) or the online demo study (online) as a campaign instead of -spec")
-		reps      = flag.Int("reps", 0, "override the spec's replicate count (with -figure: default 10)")
-		seed      = flag.Uint64("seed", 0, "override the spec's master seed (with -figure: default 1)")
-		shrink    = flag.Float64("shrink", 1, "with -figure: platform scale factor in (0,1]")
-		workers   = flag.Int("workers", 0, "parallel units (0 = all cores)")
-		parallel  = flag.Bool("parallel", false, "per-point parallel mode: shard each grid point's replicate range across the worker pool (adaptive campaigns speculate past batch boundaries); output is byte-identical for any worker count")
-		outPath   = flag.String("out", "", "write aggregate results as JSONL to this file")
-		csvPath   = flag.String("csv", "", "write the result table as CSV to this file")
-		quantPath = flag.String("quantiles", "", "write per-cell p50/p95 makespan quantiles as CSV to this file")
-		manifest  = flag.String("manifest", "", "resumable journal of completed units (reused on restart)")
-		printSpec = flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
-		example   = flag.Bool("example", false, "print an example scenario spec and exit")
-		quiet     = flag.Bool("quiet", false, "suppress the ASCII chart and progress")
-		listPol   = flag.Bool("list-policies", false, "list accepted policy names and exit")
+		specPath     = flag.String("spec", "", "JSON scenario spec file")
+		figure       = flag.String("figure", "", "run a paper figure (5a 5b 6a 6b 7 8 10 11 12 13a 13b 13c 14) or the online demo study (online) as a campaign instead of -spec")
+		reps         = flag.Int("reps", 0, "override the spec's replicate count (with -figure: default 10)")
+		seed         = flag.Uint64("seed", 0, "override the spec's master seed (with -figure: default 1)")
+		shrink       = flag.Float64("shrink", 1, "with -figure: platform scale factor in (0,1]")
+		workers      = flag.Int("workers", 0, "parallel units (0 = all cores)")
+		parallel     = flag.Bool("parallel", false, "per-point parallel mode: shard each grid point's replicate range across the worker pool (adaptive campaigns speculate past batch boundaries); output is byte-identical for any worker count")
+		outPath      = flag.String("out", "", "write aggregate results as JSONL to this file")
+		csvPath      = flag.String("csv", "", "write the result table as CSV to this file")
+		quantPath    = flag.String("quantiles", "", "write per-cell p50/p95 makespan quantiles as CSV to this file")
+		manifest     = flag.String("manifest", "", "resumable journal of completed units (reused on restart)")
+		manifestSync = flag.Bool("manifest-sync", false, "fsync the manifest after every completed unit (journal survives machine crashes, at one fsync per unit)")
+		printSpec    = flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
+		example      = flag.Bool("example", false, "print an example scenario spec and exit")
+		quiet        = flag.Bool("quiet", false, "suppress the ASCII chart and progress")
+		listPol      = flag.Bool("list-policies", false, "list accepted policy names and exit")
 
 		precision  = flag.Float64("precision", 0, "adaptive mode: target relative CI half-width per (point, policy) cell (0 = use the spec's precision block, if any)")
 		confidence = flag.Float64("confidence", 0, "adaptive mode: confidence level (default 0.95)")
@@ -81,40 +94,34 @@ func main() {
 		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile,
 	})
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer stopProfiles()
 
 	if *listPol {
 		scenario.FprintPolicies(os.Stdout)
-		return
+		return nil
 	}
 
 	if *example {
-		if err := exampleSpec().Encode(os.Stdout); err != nil {
-			fatalf("%v", err)
-		}
-		return
+		return exampleSpec().Encode(os.Stdout)
 	}
 
 	sp, err := loadSpec(*specPath, *figure, *reps, *seed, *shrink)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	applyPrecision(&sp, *precision, *confidence, *minReps, *maxReps, *batch)
 	if err := applyArrivals(&sp, *arrivals, *load, *jobs, *arrivalRule); err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	if *printSpec {
-		if err := sp.Encode(os.Stdout); err != nil {
-			fatalf("%v", err)
-		}
-		return
+		return sp.Encode(os.Stdout)
 	}
 
 	points, err := sp.Expand()
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	if sp.Arrivals != nil {
 		fmt.Printf("campaign %q: online regime — %s arrivals (%d jobs), arrival rule %q\n",
@@ -140,18 +147,34 @@ func main() {
 	if *metricsAddr != "" {
 		server, err = obs.Serve(*metricsAddr, telemetry)
 		if err != nil {
-			fatalf("-metrics-addr: %v", err)
+			return fmt.Errorf("-metrics-addr: %w", err)
 		}
+		// Close runs on every exit; the success path below may linger
+		// first. (Shutdown is idempotent, so the double close is free.)
+		defer server.Close()
 		fmt.Fprintf(os.Stderr, "campaign: serving telemetry at http://%s/metrics\n", server.Addr())
 	}
 	var stopHeartbeat func()
 	var heartbeatFile *os.File
+	// finishHeartbeat emits the final heartbeat line and closes the file
+	// exactly once; deferred so a failed run still gets its last line.
+	finishHeartbeat := func() {
+		if stopHeartbeat != nil {
+			stopHeartbeat()
+			stopHeartbeat = nil
+		}
+		if heartbeatFile != nil {
+			heartbeatFile.Close()
+			heartbeatFile = nil
+		}
+	}
+	defer finishHeartbeat()
 	if *heartbeatPath != "" {
 		w := os.Stderr
 		if *heartbeatPath != "-" {
 			heartbeatFile, err = os.Create(*heartbeatPath)
 			if err != nil {
-				fatalf("-heartbeat: %v", err)
+				return fmt.Errorf("-heartbeat: %w", err)
 			}
 			w = heartbeatFile
 		}
@@ -160,9 +183,10 @@ func main() {
 	if *manifest != "" {
 		man, err := campaign.OpenManifest(*manifest)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		defer man.Close()
+		man.SetSync(*manifestSync)
 		opt.Manifest = man
 	}
 	if !*quiet {
@@ -182,60 +206,57 @@ func main() {
 	start := time.Now()
 	res, err := campaign.Run(sp, opt)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	elapsed := time.Since(start)
 
-	if stopHeartbeat != nil {
-		stopHeartbeat() // emits the final heartbeat line
-		if heartbeatFile != nil {
-			heartbeatFile.Close()
-		}
-	}
+	finishHeartbeat() // emits the final heartbeat line
 	if *metricsDump != "" {
 		f, err := os.Create(*metricsDump)
 		if err != nil {
-			fatalf("-metrics-dump: %v", err)
+			return fmt.Errorf("-metrics-dump: %w", err)
 		}
 		if err := telemetry.WritePrometheus(f); err != nil {
-			fatalf("-metrics-dump: %v", err)
+			f.Close()
+			return fmt.Errorf("-metrics-dump: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			fatalf("-metrics-dump: %v", err)
+			return fmt.Errorf("-metrics-dump: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "campaign: wrote metrics snapshot %s\n", *metricsDump)
 	}
 
 	table, err := res.Table()
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		if err := res.WriteJSONL(f); err != nil {
-			fatalf("%v", err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		fmt.Printf("wrote %s (%d records)\n", *outPath, len(res.Points)*len(res.Policies))
 	}
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(table.CSV()), 0o644); err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	if *quantPath != "" {
 		qt, err := res.QuantileTable(0.5, 0.95)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		if err := os.WriteFile(*quantPath, []byte(qt.CSV()), 0o644); err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		fmt.Printf("wrote %s\n", *quantPath)
 	}
@@ -305,8 +326,11 @@ func main() {
 				*metricsLinger, server.Addr())
 			time.Sleep(*metricsLinger)
 		}
-		server.Close()
+		if err := server.Close(); err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
 	}
+	return nil
 }
 
 // applyArrivals folds the online-mode flags into the spec: -arrivals
@@ -424,9 +448,4 @@ func exampleSpec() scenario.Spec {
 			{Param: scenario.ParamMTBF, Values: []float64{5, 20}},
 		},
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,100 @@
+// Command campaignd is the long-lived campaign daemon: an HTTP/JSON
+// server multiplexing many clients' Monte-Carlo campaigns onto one
+// shared, fairly-scheduled worker pool. Clients POST scenario specs,
+// stream SSE progress heartbeats, and fetch JSONL results; every
+// accepted campaign is spooled with an fsync'd resume manifest, so a
+// restarted daemon picks up every in-flight campaign exactly where it
+// stopped.
+//
+// Example session:
+//
+//	campaignd -addr :8080 -spool /var/lib/cosched/spool &
+//	curl -s -XPOST -H 'X-Cosched-Client: alice' --data-binary @sweep.json \
+//	    localhost:8080/v1/campaigns           # → {"id": "...", "state": "queued", ...}
+//	curl -N localhost:8080/v1/campaigns/<id>/stream   # SSE heartbeats
+//	curl -s localhost:8080/v1/campaigns/<id>/results  # final JSONL
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cosched/internal/service"
+)
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		spool       = flag.String("spool", "spool", "campaign spool directory (specs, manifests, results)")
+		workers     = flag.Int("workers", 0, "shared pool width (0 = all cores)")
+		maxActive   = flag.Int("max-active", 0, "concurrently executing campaigns (0 = 2x workers)")
+		maxAttempts = flag.Int("max-attempts", 3, "retries before a failing campaign is marked failed")
+		rate        = flag.Float64("submit-rate", 5, "per-client campaign submissions per second")
+		burst       = flag.Float64("submit-burst", 10, "per-client submission burst")
+		heartbeat   = flag.Duration("heartbeat-every", time.Second, "SSE progress heartbeat period")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight HTTP requests")
+	)
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		SpoolDir:       *spool,
+		Workers:        *workers,
+		MaxActive:      *maxActive,
+		MaxAttempts:    *maxAttempts,
+		SubmitRate:     *rate,
+		SubmitBurst:    *burst,
+		HeartbeatEvery: *heartbeat,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A daemon must not let a slow-loris client pin an accept slot.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("campaignd: serving on %s (spool %s)", *addr, *spool)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("campaignd: %v — draining", sig)
+	case err := <-errc:
+		srv.Stop()
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Graceful stop: first the HTTP front (no new submissions, streams
+	// get their final events as campaigns cancel), then the engine
+	// (in-flight units drain and are journaled; campaigns stay resumable).
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- httpSrv.Shutdown(ctx) }()
+	srv.Stop()
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("draining http server: %w", err)
+	}
+	log.Printf("campaignd: stopped; campaigns resumable from %s", *spool)
+	return nil
+}

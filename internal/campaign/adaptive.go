@@ -70,6 +70,10 @@ type unitResult struct {
 	point, rep int
 	vals       []float64 // metricsPerPolicy values per policy
 	err        error
+	// skip marks a unit that was dispatched but never ran because the
+	// campaign was canceled first: it only drains inflight accounting
+	// (vals, when non-nil, is the job's recycled buffer coming home).
+	skip bool
 }
 
 // adaptiveController sequences an adaptive campaign. All state is owned
@@ -104,6 +108,9 @@ type adaptiveController struct {
 	done      int // folded replicates, including restored ones
 	estTotal  int // points×max, shrunk as points stop early
 	firstErr  error
+	// submit, when set (shared-pool mode), dispatches a job immediately
+	// instead of parking it on queue for the private-worker coordinator.
+	submit func(unitJob)
 	// free recycles per-replicate metric-vector buffers: folded vectors
 	// return here, queued jobs carry one back out to a worker. Owned by
 	// the coordinating goroutine; hand-off happens through the job and
@@ -148,6 +155,9 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 	}
 
 	workers := opt.Workers
+	if opt.Pool != nil {
+		workers = opt.Pool.Workers()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -161,12 +171,58 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 			la += c.batch - r
 		}
 		c.lookahead = la
-	} else if maxPar := len(points) * c.batch; workers > maxPar {
-		// One in-flight batch per point bounds useful parallelism.
-		workers = maxPar
+	} else if opt.Pool == nil {
+		if maxPar := len(points) * c.batch; workers > maxPar {
+			// One in-flight batch per point bounds useful parallelism.
+			workers = maxPar
+		}
 	}
 	if workers < 1 {
 		workers = 1
+	}
+
+	// Per-point shared compiled models, built at point-scheduling time
+	// and handed to the workers read-only (nil for points that must
+	// compile per unit), plus the once-per-campaign arrival trace. Built
+	// before the first advance: in shared-pool mode enqueue submits jobs
+	// immediately, and those jobs capture the shared models.
+	shared := sharedPointModels(sp, points, policies)
+	trace, err := loadArrivalTrace(sp)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make(chan unitResult, workers)
+	// exec runs one dispatched replicate on an arena and reports back to
+	// the coordinator — the worker body of both execution modes. A job
+	// finding the campaign already canceled skips the work but still
+	// reports, so inflight accounting always drains.
+	exec := func(ws *workerState, w int, job unitJob) {
+		if canceled(opt.Cancel) {
+			results <- unitResult{point: job.point, rep: job.rep, skip: true, vals: job.buf}
+			return
+		}
+		ws.bind(opt.Metrics, w)
+		vals, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point], trace)
+		r := unitResult{point: job.point, rep: job.rep, err: err}
+		if err == nil {
+			// runUnit reuses its buffer; the result outlives it,
+			// so it is copied — into the job's recycled buffer
+			// when the coordinator attached one.
+			buf := job.buf
+			if cap(buf) < len(vals) {
+				buf = make([]float64, len(vals))
+			}
+			buf = buf[:len(vals)]
+			copy(buf, vals)
+			r.vals = buf
+		}
+		results <- r
+	}
+	if opt.Pool != nil {
+		c.submit = func(job unitJob) {
+			opt.Pool.submit(opt.Client, func(ws *workerState, w int) { exec(ws, w, job) })
+		}
 	}
 
 	if opt.Manifest != nil {
@@ -192,17 +248,29 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 	}
 	c.syncMetrics()
 
-	// Per-point shared compiled models, built at point-scheduling time
-	// and handed to the workers read-only (nil for points that must
-	// compile per unit), plus the once-per-campaign arrival trace.
-	shared := sharedPointModels(sp, points, policies)
-	trace, err := loadArrivalTrace(sp)
-	if err != nil {
-		return nil, err
+	if opt.Pool != nil {
+		// Shared-pool mode: jobs were submitted by enqueue as advance
+		// queued them; the coordinator only folds results (each of which
+		// may submit follow-up batches through advance → enqueue).
+		for c.inflight > 0 {
+			r := <-results
+			if c.firstErr == nil && canceled(opt.Cancel) {
+				// Journal this result but queue nothing beyond it.
+				c.firstErr = ErrCanceled
+			}
+			c.handle(r)
+			c.syncMetrics()
+		}
+		if c.firstErr != nil {
+			return nil, c.firstErr
+		}
+		if canceled(opt.Cancel) {
+			return nil, ErrCanceled
+		}
+		return res, nil
 	}
 
 	jobs := make(chan unitJob)
-	results := make(chan unitResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -210,36 +278,21 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 			defer wg.Done()
 			ws := getWorkerState()
 			defer putWorkerState(ws)
-			if opt.Metrics != nil {
-				ws.attach(opt.Metrics.Shard(w))
-			}
 			for job := range jobs {
-				vals, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point], trace)
-				r := unitResult{point: job.point, rep: job.rep, err: err}
-				if err == nil {
-					// runUnit reuses its buffer; the result outlives it,
-					// so it is copied — into the job's recycled buffer
-					// when the coordinator attached one.
-					buf := job.buf
-					if cap(buf) < len(vals) {
-						buf = make([]float64, len(vals))
-					}
-					buf = buf[:len(vals)]
-					copy(buf, vals)
-					r.vals = buf
-				}
-				results <- r
+				exec(ws, w, job)
 			}
 		}(w)
 	}
 
 	// Coordinator: interleave dispatching queued jobs with folding
 	// results until every point has stopped and nothing is in flight.
+	cancelWatch := opt.Cancel
 	for c.inflight > 0 {
-		// Speculated jobs whose point has since stopped are dropped
-		// here instead of dispatched — never-run replicates, not
-		// discarded results, so the output is unaffected either way.
-		for len(c.queue) > 0 && c.points[c.queue[0].point].stopped {
+		// Speculated jobs whose point has since stopped — or any queued
+		// job after an error or cancellation — are dropped here instead
+		// of dispatched: never-run replicates, not discarded results, so
+		// the output is unaffected either way.
+		for len(c.queue) > 0 && (c.points[c.queue[0].point].stopped || c.firstErr != nil) {
 			job := c.queue[0]
 			c.queue = c.queue[1:]
 			c.points[job.point].outstanding--
@@ -262,12 +315,23 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 		case r := <-results:
 			c.handle(r)
 			c.syncMetrics()
+		case <-cancelWatch: // nil without Options.Cancel: never ready
+			// Stop queueing (advance checks firstErr) and let the next
+			// loop turn drop the queued remainder; in-flight units drain
+			// normally and are journaled.
+			if c.firstErr == nil {
+				c.firstErr = ErrCanceled
+			}
+			cancelWatch = nil
 		}
 	}
 	close(jobs)
 	wg.Wait()
 	if c.firstErr != nil {
 		return nil, c.firstErr
+	}
+	if canceled(opt.Cancel) {
+		return nil, ErrCanceled
 	}
 	return res, nil
 }
@@ -277,6 +341,12 @@ func (c *adaptiveController) handle(r unitResult) {
 	ps := &c.points[r.point]
 	ps.outstanding--
 	c.inflight--
+	if r.skip {
+		if r.vals != nil {
+			c.free = append(c.free, r.vals)
+		}
+		return
+	}
 	if r.err != nil {
 		if c.firstErr == nil {
 			c.firstErr = fmt.Errorf("campaign: point %d (x=%v) rep %d: %w",
@@ -380,9 +450,13 @@ func (c *adaptiveController) enqueue(pi, rep int) {
 	if n := len(c.free); n > 0 {
 		job.buf, c.free = c.free[n-1], c.free[:n-1]
 	}
-	c.queue = append(c.queue, job)
 	c.points[pi].outstanding++
 	c.inflight++
+	if c.submit != nil {
+		c.submit(job)
+		return
+	}
+	c.queue = append(c.queue, job)
 }
 
 // syncMetrics mirrors the controller's progress state into the attached

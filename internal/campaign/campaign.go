@@ -125,6 +125,21 @@ type Options struct {
 	// the coordinator's progress gauges. Results are byte-identical with
 	// or without it — telemetry is a pure side channel.
 	Metrics *obs.Campaign
+	// Pool, when non-nil, executes the campaign's units on a shared
+	// worker pool instead of a private worker set, interleaved fairly
+	// with every other campaign targeting the same pool (Workers is
+	// ignored; the pool's width rules). Unit seeds derive from (spec,
+	// point, replicate) alone and results fold by unit index, so output
+	// is byte-identical to a private-pool run.
+	Pool *Pool
+	// Client tags the campaign's queue on a shared Pool for per-client
+	// fair scheduling. Ignored without Pool; "" is a valid shared key.
+	Client string
+	// Cancel, when non-nil, aborts the campaign once closed: no new
+	// units are scheduled, in-flight ones drain (and are journaled), and
+	// Run returns ErrCanceled. With a manifest attached the canceled
+	// campaign resumes exactly where it stopped.
+	Cancel <-chan struct{}
 }
 
 // Result is a completed campaign: the expanded grid, the resolved
@@ -233,14 +248,6 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		m.QueueDepth.Set(float64(total - done))
 	}
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-
 	// Per-point shared models are built here, at point-scheduling time:
 	// workers receive them read-only and never compile for these points.
 	shared := sharedPointModels(sp, points, policies)
@@ -249,67 +256,111 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	units := make(chan int)
-	errs := make(chan error, workers)
-	var mu sync.Mutex // guards done, manifest appends, Progress calls
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// One simulation arena per worker: every unit resets it in
-			// place, so the hot loop stops allocating after the first
-			// few units warm the buffers up. Arenas are pooled across
-			// campaign executions, so back-to-back Runs reuse warm
-			// buffers too.
-			ws := getWorkerState()
-			defer putWorkerState(ws)
-			if opt.Metrics != nil {
-				ws.attach(opt.Metrics.Shard(w))
-			}
-			for unit := range units {
-				pi, rep := unit/sp.Replicates, unit%sp.Replicates
-				vals, err := ws.runUnit(sp, points[pi], policies, semantics, rep, shared[pi], trace)
-				if err != nil {
-					select {
-					case errs <- fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, points[pi].X, rep, err):
-					default:
-					}
-					continue
-				}
-				mu.Lock()
-				setCell(pi, rep, vals)
-				if opt.Manifest != nil {
-					if err := opt.Manifest.append(unit, vals); err != nil {
-						select {
-						case errs <- err:
-						default:
-						}
-					}
-				}
-				done++
-				if m := opt.Metrics; m != nil {
-					m.UnitsDone.Set(float64(done))
-					m.QueueDepth.Set(float64(total - done))
-				}
-				if opt.Progress != nil {
-					opt.Progress(done, total)
-				}
-				mu.Unlock()
-			}
-		}(w)
+	var mu sync.Mutex // guards done, firstErr, manifest appends, Progress calls
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
 	}
-	for unit := 0; unit < total; unit++ {
-		if !restored[unit] {
-			units <- unit
+	// runOne executes one unit on the given arena and folds its values
+	// into the result under mu — the shared body of both execution modes.
+	runOne := func(ws *workerState, unit int) {
+		pi, rep := unit/sp.Replicates, unit%sp.Replicates
+		vals, err := ws.runUnit(sp, points[pi], policies, semantics, rep, shared[pi], trace)
+		if err != nil {
+			fail(fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, points[pi].X, rep, err))
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		setCell(pi, rep, vals)
+		if opt.Manifest != nil {
+			if err := opt.Manifest.append(unit, vals); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		done++
+		if m := opt.Metrics; m != nil {
+			m.UnitsDone.Set(float64(done))
+			m.QueueDepth.Set(float64(total - done))
+		}
+		if opt.Progress != nil {
+			opt.Progress(done, total)
 		}
 	}
-	close(units)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+
+	if opt.Pool != nil {
+		// Shared-pool mode: every unit becomes one fair-scheduled job on
+		// the client's queue. The pool interleaves campaigns at unit
+		// granularity; folding is by unit index, so output is identical.
+		var wg sync.WaitGroup
+		for unit := 0; unit < total; unit++ {
+			if restored[unit] {
+				continue
+			}
+			if canceled(opt.Cancel) {
+				break
+			}
+			wg.Add(1)
+			opt.Pool.submit(opt.Client, func(ws *workerState, w int) {
+				defer wg.Done()
+				if canceled(opt.Cancel) {
+					return
+				}
+				ws.bind(opt.Metrics, w)
+				runOne(ws, unit)
+			})
+		}
+		wg.Wait()
+	} else {
+		workers := opt.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > total {
+			workers = total
+		}
+		units := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// One simulation arena per worker: every unit resets it in
+				// place, so the hot loop stops allocating after the first
+				// few units warm the buffers up. Arenas are pooled across
+				// campaign executions, so back-to-back Runs reuse warm
+				// buffers too.
+				ws := getWorkerState()
+				defer putWorkerState(ws)
+				ws.bind(opt.Metrics, w)
+				for unit := range units {
+					runOne(ws, unit)
+				}
+			}(w)
+		}
+	feed:
+		for unit := 0; unit < total; unit++ {
+			if restored[unit] {
+				continue
+			}
+			select {
+			case units <- unit:
+			case <-opt.Cancel: // nil without Options.Cancel: never ready
+				break feed
+			}
+		}
+		close(units)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if canceled(opt.Cancel) {
+		return nil, ErrCanceled
 	}
 	return res, nil
 }
@@ -380,6 +431,17 @@ func putWorkerState(ws *workerState) {
 func (ws *workerState) attach(sh *obs.WorkerShard) {
 	ws.shard = sh
 	ws.observer = &sh.Sim
+}
+
+// bind attaches the arena to campaign telemetry m's shard w, or
+// detaches it when m is nil. Shared-pool workers serve many campaigns
+// with different telemetry roots, so every job rebinds its arena.
+func (ws *workerState) bind(m *obs.Campaign, w int) {
+	if m == nil {
+		ws.shard, ws.observer = nil, nil
+		return
+	}
+	ws.attach(m.Shard(w))
 }
 
 // pointModel is the read-only state one grid point shares across the

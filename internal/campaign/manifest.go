@@ -18,9 +18,10 @@ import (
 type Manifest struct {
 	path string
 
-	mu  sync.Mutex
-	f   *os.File
-	enc *json.Encoder
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	sync bool
 }
 
 type manifestHeader struct {
@@ -49,6 +50,19 @@ func OpenManifest(path string) (*Manifest, error) {
 	return &Manifest{path: path}, nil
 }
 
+// SetSync selects the journal's durability mode. When on, every append
+// is fsync'd before the unit counts as journaled, so a machine crash
+// (not just a process crash) can never lose a unit the runner already
+// reported done. The cost is one fsync per completed unit, which is why
+// it is opt-in for the one-shot CLI (-manifest-sync) and always on in
+// the campaign daemon, whose whole restart contract rests on the
+// journal. Call it before the campaign starts.
+func (m *Manifest) SetSync(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sync = on
+}
+
 // Close flushes and closes the journal.
 func (m *Manifest) Close() error {
 	m.mu.Lock()
@@ -66,7 +80,8 @@ func (m *Manifest) Close() error {
 // metricsPerPolicy entries), and leaves the file open for appending. It
 // returns the number of restored units. A missing or empty file starts a
 // fresh journal; a truncated trailing line (interrupted write) is
-// dropped.
+// dropped, and a file holding nothing but a truncated header (a crash
+// during the very first write) restarts from scratch.
 func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, vals []float64)) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -94,6 +109,7 @@ func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, val
 
 	restored := 0
 	tailTruncated := false
+	headerTruncated := false
 	if len(blob) > 0 {
 		var lines []string
 		for _, l := range strings.Split(string(blob), "\n") {
@@ -106,34 +122,51 @@ func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, val
 		}
 		var got manifestHeader
 		if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
-			return 0, fmt.Errorf("campaign: manifest %s header: %w", m.path, err)
+			if len(lines) == 1 && blob[len(blob)-1] != '\n' {
+				// A crash during the very first write leaves a truncated
+				// header and nothing else: no unit was ever journaled, so
+				// the journal restarts from scratch instead of refusing
+				// to resume.
+				headerTruncated = true
+			} else {
+				return 0, fmt.Errorf("campaign: manifest %s header: %w", m.path, err)
+			}
 		}
-		if got != head {
-			return 0, fmt.Errorf("campaign: manifest %s was written for a different campaign (fingerprint %s/%d units, want %s/%d) — delete it or change the manifest path",
-				m.path, got.Fingerprint, got.Units, head.Fingerprint, head.Units)
-		}
-		seen := make(map[int]bool)
-		for li, line := range lines[1:] {
-			var u manifestUnit
-			if err := json.Unmarshal([]byte(line), &u); err != nil {
-				if li == len(lines)-2 && blob[len(blob)-1] != '\n' {
-					// An interrupted append leaves a truncated final line;
-					// cut it off and let the unit re-run.
-					tailTruncated = true
-					break
+		if !headerTruncated {
+			if got != head {
+				return 0, fmt.Errorf("campaign: manifest %s was written for a different campaign (fingerprint %s/%d units, want %s/%d) — delete it or change the manifest path",
+					m.path, got.Fingerprint, got.Units, head.Fingerprint, head.Units)
+			}
+			seen := make(map[int]bool)
+			for li, line := range lines[1:] {
+				var u manifestUnit
+				if err := json.Unmarshal([]byte(line), &u); err != nil {
+					if li == len(lines)-2 && blob[len(blob)-1] != '\n' {
+						// An interrupted append leaves a truncated final line;
+						// cut it off and let the unit re-run.
+						tailTruncated = true
+						break
+					}
+					return 0, fmt.Errorf("campaign: manifest %s line %d: %w", m.path, li+2, err)
 				}
-				return 0, fmt.Errorf("campaign: manifest %s line %d: %w", m.path, li+2, err)
+				if u.Unit < 0 || u.Unit >= head.Units || len(u.Makespans) != policies*metricsPerPolicy(sp) || seen[u.Unit] {
+					return 0, fmt.Errorf("campaign: manifest %s has a corrupt unit record %d", m.path, u.Unit)
+				}
+				seen[u.Unit] = true
+				fn(u.Unit, u.Makespans)
+				restored++
 			}
-			if u.Unit < 0 || u.Unit >= head.Units || len(u.Makespans) != policies*metricsPerPolicy(sp) || seen[u.Unit] {
-				return 0, fmt.Errorf("campaign: manifest %s has a corrupt unit record %d", m.path, u.Unit)
-			}
-			seen[u.Unit] = true
-			fn(u.Unit, u.Makespans)
-			restored++
 		}
 	}
 
-	if tailTruncated {
+	switch {
+	case headerTruncated:
+		// Nothing recoverable: restart the journal from an empty file.
+		if err := os.Truncate(m.path, 0); err != nil {
+			return 0, fmt.Errorf("campaign: repairing manifest header: %w", err)
+		}
+		blob = nil
+	case tailTruncated:
 		// Cut the partial tail line off so new appends start clean and
 		// later resumes never see it.
 		keep := strings.LastIndexByte(string(blob), '\n') + 1
@@ -151,6 +184,9 @@ func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, val
 		if err := m.enc.Encode(head); err != nil {
 			return 0, fmt.Errorf("campaign: writing manifest header: %w", err)
 		}
+		if err := m.syncLocked(); err != nil {
+			return 0, err
+		}
 	case !tailTruncated && blob[len(blob)-1] != '\n':
 		// The tail line parsed but lost its newline; complete it.
 		if _, err := f.WriteString("\n"); err != nil {
@@ -160,7 +196,21 @@ func (m *Manifest) restore(sp scenario.Spec, policies int, fn func(unit int, val
 	return restored, nil
 }
 
-// append journals one completed unit's flat value vector.
+// syncLocked fsyncs the journal when durability mode is on. The caller
+// holds m.mu.
+func (m *Manifest) syncLocked() error {
+	if !m.sync || m.f == nil {
+		return nil
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: syncing manifest: %w", err)
+	}
+	return nil
+}
+
+// append journals one completed unit's flat value vector. In sync mode
+// the record is fsync'd before append returns, so a unit the campaign
+// counts as done survives even a machine crash.
 func (m *Manifest) append(unit int, vals []float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -170,5 +220,5 @@ func (m *Manifest) append(unit int, vals []float64) error {
 	if err := m.enc.Encode(manifestUnit{Unit: unit, Makespans: vals}); err != nil {
 		return fmt.Errorf("campaign: appending to manifest: %w", err)
 	}
-	return nil
+	return m.syncLocked()
 }

@@ -50,8 +50,18 @@ func TestMetricsEquivalenceAcrossWorkers(t *testing.T) {
 			base = s
 			continue
 		}
-		if s.Sim != base.Sim {
-			t.Fatalf("sim totals depend on the worker count:\n1 worker: %+v\n%d workers: %+v", base.Sim, workers, s.Sim)
+		// RedistSeconds is a float folded over per-shard partial sums,
+		// and which worker ran which unit is scheduling-dependent — so
+		// it is deterministic only up to addition order (last-ulp
+		// wiggle). Compare it with a relative tolerance and everything
+		// else exactly.
+		a, b := s.Sim, base.Sim
+		if d := a.RedistSeconds - b.RedistSeconds; d > 1e-9*b.RedistSeconds || -d > 1e-9*b.RedistSeconds {
+			t.Fatalf("redist seconds depend on the worker count: %v vs %v", b.RedistSeconds, a.RedistSeconds)
+		}
+		a.RedistSeconds, b.RedistSeconds = 0, 0
+		if a != b {
+			t.Fatalf("sim totals depend on the worker count:\n1 worker: %+v\n%d workers: %+v", b, workers, a)
 		}
 		for b := range s.RunEvents.Counts {
 			if s.RunEvents.Counts[b] != base.RunEvents.Counts[b] {

@@ -219,9 +219,9 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("unknown path: %d want 404", code)
 	}
 
-	// A second served campaign in the same process must not re-publish
-	// the expvar (the registry panics on duplicates); the var follows the
-	// latest campaign.
+	// A second served campaign in the same process gets its own entry in
+	// the namespaced cosched_campaigns map (deduplicated name), not a
+	// last-writer-wins overwrite of the first campaign's view.
 	c2 := NewCampaign()
 	c2.UnitsDone.Set(42)
 	srv2, err := Serve("127.0.0.1:0", c2)
@@ -236,6 +236,31 @@ func TestServeEndpoints(t *testing.T) {
 	body2, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if !strings.Contains(string(body2), `"units_done": 42`) && !strings.Contains(string(body2), `"units_done":42`) {
-		t.Fatalf("expvar does not track the served campaign:\n%s", body2)
+		t.Fatalf("expvar does not carry the second campaign:\n%s", body2)
+	}
+	if !strings.Contains(string(body2), `"campaign#2"`) {
+		t.Fatalf("second campaign not namespaced in cosched_campaigns:\n%s", body2)
+	}
+	// Both campaigns remain visible concurrently.
+	if !strings.Contains(string(body2), `"campaign"`) {
+		t.Fatalf("first campaign vanished from cosched_campaigns:\n%s", body2)
+	}
+}
+
+func TestPublishRegistry(t *testing.T) {
+	c1, c2 := NewCampaign(), NewCampaign()
+	n1, rel1 := Publish("dup", c1)
+	n2, rel2 := Publish("dup", c2)
+	defer rel2()
+	if n1 != "dup" || n2 != "dup#2" {
+		t.Fatalf("names: %q %q", n1, n2)
+	}
+	rel1()
+	rel1() // release is idempotent
+	// The freed name is reusable.
+	n3, rel3 := Publish("dup", c1)
+	defer rel3()
+	if n3 != "dup" {
+		t.Fatalf("freed name not reused: %q", n3)
 	}
 }

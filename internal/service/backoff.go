@@ -1,0 +1,98 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Backoff tracks per-key exponential retry delays, in the style of
+// client-go's flowcontrol backoff manager: each failure doubles the
+// key's delay up to a cap, and an entry left alone for long enough
+// (2 × cap) resets to the base on its next use. The daemon keys retries
+// by client, so one client's repeatedly failing spec cannot grow another
+// client's retry latency.
+type Backoff struct {
+	base, max time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*backoffEntry
+	now     func() time.Time // test hook
+}
+
+type backoffEntry struct {
+	delay    time.Duration
+	lastUsed time.Time
+}
+
+// NewBackoff returns a per-key exponential backoff with the given base
+// delay and cap.
+func NewBackoff(base, max time.Duration) *Backoff {
+	return &Backoff{base: base, max: max, entries: map[string]*backoffEntry{}, now: time.Now}
+}
+
+// Next records one failure for key and returns the delay to wait before
+// retrying: base on the first failure (or after a quiet period), then
+// doubling up to the cap.
+func (b *Backoff) Next(key string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	e := b.entries[key]
+	switch {
+	case e == nil:
+		e = &backoffEntry{delay: b.base}
+		b.entries[key] = e
+	case now.Sub(e.lastUsed) > 2*b.max:
+		// The key has been healthy (or idle) long enough: start over.
+		e.delay = b.base
+	default:
+		if e.delay = e.delay * 2; e.delay > b.max {
+			e.delay = b.max
+		}
+	}
+	e.lastUsed = now
+	return e.delay
+}
+
+// Reset clears key's accumulated delay after a success.
+func (b *Backoff) Reset(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.entries, key)
+}
+
+// rateLimiter is a token bucket: Allow spends one token if available,
+// refilled continuously at rate tokens/second up to burst. Single
+// bucket; the Server keeps one per client.
+type rateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate, burst float64, now time.Time) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// allow spends one token when the bucket has one, refilling for the
+// elapsed time first. When it refuses, retryAfter is how long until a
+// token will exist.
+func (l *rateLimiter) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dt := now.Sub(l.last).Seconds(); dt > 0 {
+		l.tokens += dt * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		return true, 0
+	}
+	need := (1 - l.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}

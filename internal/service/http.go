@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"cosched/internal/obs"
+	"cosched/internal/scenario"
+)
+
+// maxSpecBytes bounds one submitted spec. Real specs are a few KB; the
+// cap keeps a misbehaving client from buffering arbitrary bytes.
+const maxSpecBytes = 1 << 20
+
+// clientKey extracts the caller's fair-scheduling identity. Clients tag
+// themselves with the X-Cosched-Client header; anonymous callers share
+// one bucket.
+func clientKey(req *http.Request) string {
+	if c := req.Header.Get("X-Cosched-Client"); c != "" {
+		return c
+	}
+	return "anonymous"
+}
+
+// statusPayload is the JSON body of status responses: the durable Meta
+// plus a live progress view.
+type statusPayload struct {
+	Meta
+	Progress obs.Progress `json:"progress"`
+}
+
+func (s *Server) status(r *run) statusPayload {
+	return statusPayload{Meta: r.Meta(), Progress: r.metrics.Snapshot().Progress(time.Now())}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/campaigns              submit a scenario spec (body: spec JSON)
+//	GET    /v1/campaigns              list campaigns (newest first)
+//	GET    /v1/campaigns/{id}         status + live progress
+//	GET    /v1/campaigns/{id}/stream  SSE progress heartbeats until terminal
+//	GET    /v1/campaigns/{id}/results final JSONL records (waits for completion)
+//	GET    /v1/campaigns/{id}/metrics Prometheus text for this campaign
+//	DELETE /v1/campaigns/{id}         cancel (in-flight units drain + journal)
+//	GET    /healthz                   liveness
+//	GET    /debug/vars, /debug/pprof  process-wide debug (namespaced campaigns)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.withRun(func(w http.ResponseWriter, req *http.Request, r *run) {
+		writeJSON(w, http.StatusOK, s.status(r))
+	}))
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.withRun(s.handleStream))
+	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.withRun(s.handleResults))
+	mux.HandleFunc("GET /v1/campaigns/{id}/metrics", s.withRun(func(w http.ResponseWriter, req *http.Request, r *run) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.metrics.WritePrometheus(w)
+	}))
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.withRun(func(w http.ResponseWriter, req *http.Request, r *run) {
+		r.requestCancel(true)
+		writeJSON(w, http.StatusAccepted, s.status(r))
+	}))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "campaigns": len(s.List())})
+	})
+	mux.Handle("/debug/", obs.DebugHandler())
+	return mux
+}
+
+// withRun resolves {id} or answers 404.
+func (s *Server) withRun(h func(http.ResponseWriter, *http.Request, *run)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		r, ok := s.Get(req.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+			return
+		}
+		h(w, req, r)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	client := clientKey(req)
+	if ok, retry := s.allowSubmit(client); !ok {
+		secs := int(retry/time.Second) + 1
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		writeError(w, http.StatusTooManyRequests, "client %q over submission rate, retry in %ds", client, secs)
+		return
+	}
+	sp, err := scenario.Decode(io.LimitReader(req.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	meta, existing, err := s.Submit(client, sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if existing {
+		code = http.StatusOK // deduplicated: the campaign was already here
+	}
+	r, _ := s.Get(meta.ID)
+	writeJSON(w, code, s.status(r))
+}
+
+// handleStream serves SSE progress heartbeats: one `progress` event per
+// heartbeat period while the campaign runs, then a final `done` event
+// carrying the terminal status. Clients consume it with curl -N or any
+// EventSource.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request, r *run) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	emit("progress", s.status(r))
+	tick := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			emit("progress", s.status(r))
+		case <-r.done:
+			emit("done", s.status(r))
+			return
+		case <-req.Context().Done():
+			return
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// handleResults streams the campaign's final JSONL records, blocking
+// until the campaign reaches a terminal state (kill the wait with
+// request cancellation). Non-done terminal states answer 409 with the
+// status body.
+func (s *Server) handleResults(w http.ResponseWriter, req *http.Request, r *run) {
+	select {
+	case <-r.done:
+	case <-req.Context().Done():
+		return
+	case <-s.quit:
+		writeError(w, http.StatusServiceUnavailable, "server stopping")
+		return
+	}
+	meta := r.Meta()
+	if meta.State != StateDone {
+		writeJSON(w, http.StatusConflict, s.status(r))
+		return
+	}
+	f, err := os.Open(resultsPath(s.cfg.SpoolDir, r.id))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening results: %v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, f)
+}
