@@ -47,6 +47,11 @@ func realMain() error {
 		burst       = flag.Float64("submit-burst", 10, "per-client submission burst")
 		heartbeat   = flag.Duration("heartbeat-every", time.Second, "SSE progress heartbeat period")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight HTTP requests")
+		workersExec = flag.String("workers-exec", "", "worker binary (campaignw); when set, campaigns execute on spawned worker processes with lease-based fault tolerance")
+		distWorkers = flag.Int("dist-workers", 3, "worker processes per distributed campaign")
+		leaseUnits  = flag.Int("lease-units", 0, "units per distributed lease (0 = default)")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "distributed lease time-to-live (0 = default)")
+		chaosKill   = flag.Int("chaos-kill-unit", 0, "testing hook: SIGKILL the worker holding this unit index once (0 = off)")
 	)
 	flag.Parse()
 
@@ -58,6 +63,11 @@ func realMain() error {
 		SubmitRate:     *rate,
 		SubmitBurst:    *burst,
 		HeartbeatEvery: *heartbeat,
+		WorkersExec:    *workersExec,
+		DistWorkers:    *distWorkers,
+		LeaseUnits:     *leaseUnits,
+		LeaseTTL:       *leaseTTL,
+		ChaosKillUnit:  *chaosKill,
 		Logf:           log.Printf,
 	})
 	if err != nil {

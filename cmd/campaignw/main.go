@@ -1,0 +1,26 @@
+// Command campaignw is the distributed campaign worker: a child process
+// the coordinator (campaignd with -workers-exec, or internal/dist
+// directly) spawns per worker seat. It speaks the dist pipe protocol on
+// stdin/stdout — receive the scenario spec, validate its fingerprint,
+// then execute granted unit ranges in order, streaming one result line
+// per unit and a heartbeat between them — and writes diagnostics to
+// stderr. It is never run by hand; without a coordinator on the other
+// end of the pipe it just waits for an init message that never comes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cosched/internal/dist"
+)
+
+func main() {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "campaignw: "+format+"\n", args...)
+	}
+	if err := dist.WorkerMain(os.Stdin, os.Stdout, dist.WorkerConfig{Logf: logf}); err != nil {
+		logf("%v", err)
+		os.Exit(1)
+	}
+}

@@ -357,7 +357,7 @@ func (c *adaptiveController) handle(r unitResult) {
 	ps.pending[r.rep] = r.vals
 	if c.opt.Manifest != nil {
 		unit := r.point*c.sp.ReplicateCap() + r.rep
-		if err := c.opt.Manifest.append(unit, r.vals); err != nil && c.firstErr == nil {
+		if err := c.opt.Manifest.AppendUnit(unit, r.vals); err != nil && c.firstErr == nil {
 			c.firstErr = err
 		}
 	}

@@ -194,49 +194,25 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		return runAdaptive(sp, opt, points, policies, semantics)
 	}
 
-	nm := metricsPerPolicy(sp)
-	res := &Result{Spec: sp, Points: points, Policies: policies}
-	res.Reps = make([]int, len(points))
-	res.Makespans = make([][][]float64, len(points))
-	if nm > 1 {
-		res.online = make([][][]onlineUnit, len(points))
-	}
-	for pi := range points {
-		res.Reps[pi] = sp.Replicates
-		res.Makespans[pi] = make([][]float64, len(policies))
-		if nm > 1 {
-			res.online[pi] = make([][]onlineUnit, len(policies))
-		}
-		for qi := range policies {
-			res.Makespans[pi][qi] = make([]float64, sp.Replicates)
-			if nm > 1 {
-				res.online[pi][qi] = make([]onlineUnit, sp.Replicates)
-			}
-		}
-	}
+	// The Assembler owns the result matrices and the exactly-once fold —
+	// the same machinery the distributed coordinator assembles through,
+	// so both paths produce identical bytes by construction.
+	asm := newAssembler(sp, points, policies)
+	res := asm.res
 
-	// setCell scatters one unit's flat value vector into the result.
-	setCell := func(pi, rep int, vals []float64) {
-		for qi := range policies {
-			res.Makespans[pi][qi][rep] = vals[qi*nm+MetricMakespan]
-			if nm > 1 {
-				copy(res.online[pi][qi][rep][:], vals[qi*nm+1:(qi+1)*nm])
-			}
-		}
-	}
-
-	total := len(points) * sp.Replicates
+	total := asm.TotalUnits()
 	done := 0
 	restored := make([]bool, total)
 	if opt.Manifest != nil {
-		n, err := opt.Manifest.restore(sp, len(policies), func(unit int, vals []float64) {
-			setCell(unit/sp.Replicates, unit%sp.Replicates, vals)
-			restored[unit] = true
+		_, err := opt.Manifest.restore(sp, len(policies), func(unit int, vals []float64) {
+			if asm.Fold(unit, vals) {
+				restored[unit] = true
+			}
 		})
 		if err != nil {
 			return nil, err
 		}
-		done = n
+		done = asm.Done()
 	}
 	if opt.Progress != nil && done > 0 {
 		opt.Progress(done, total)
@@ -276,9 +252,9 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		setCell(pi, rep, vals)
+		asm.Fold(unit, vals)
 		if opt.Manifest != nil {
-			if err := opt.Manifest.append(unit, vals); err != nil && firstErr == nil {
+			if err := opt.Manifest.AppendUnit(unit, vals); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -1,0 +1,143 @@
+// Package clock is the injectable time source shared by everything in
+// the repository that schedules real-time behavior: the distributed
+// campaign coordinator (lease expiry, respawn backoff), the worker
+// heartbeat loops, the daemon's retry backoff, and the chaos harness.
+//
+// Production code takes a Clock and defaults to Real; deterministic
+// tests hand the same components a Fake and drive time explicitly with
+// Advance, so lease-expiry and backoff behavior is a pure function of
+// the scripted schedule instead of wall-clock racing.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface the schedulers need: a current
+// instant and one-shot timers. Tickers are deliberately absent — every
+// periodic loop in the repo re-arms After each iteration, which is the
+// only shape a fake can fire deterministically.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time once
+	// d has elapsed. The channel has capacity 1, so an abandoned timer
+	// never blocks the clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// fakeTimer is one pending After on a Fake clock.
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+	// seq breaks ties among timers with equal deadlines: they fire in
+	// creation order, so a test's schedule is reproducible.
+	seq int
+}
+
+// Fake is a manually-advanced clock. Time only moves through Advance
+// (or AdvanceToNext); timers created by After fire — in deadline order,
+// creation order within a deadline — the moment an Advance carries the
+// clock past them. A zero-duration After fires on the next Advance, not
+// immediately, keeping "timer armed" observable to tests.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    int
+	timers []*fakeTimer
+}
+
+// NewFake returns a fake clock starting at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock: the returned channel fires when Advance moves
+// the clock to or past now+d.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{at: f.now.Add(d), ch: make(chan time.Time, 1), seq: f.seq}
+	f.seq++
+	f.timers = append(f.timers, t)
+	return t.ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline is now due, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.fireDueLocked()
+	f.mu.Unlock()
+}
+
+// AdvanceToNext jumps the clock to the earliest pending timer deadline
+// and fires everything due there. It reports false when no timer is
+// armed (the clock does not move).
+func (f *Fake) AdvanceToNext() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.timers) == 0 {
+		return false
+	}
+	next := f.timers[0].at
+	for _, t := range f.timers[1:] {
+		if t.at.Before(next) {
+			next = t.at
+		}
+	}
+	if next.After(f.now) {
+		f.now = next
+	}
+	f.fireDueLocked()
+	return true
+}
+
+// Waiters returns the number of armed timers — the synchronization
+// handle tests use to know a component has parked on After before
+// advancing past it.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.timers)
+}
+
+// fireDueLocked delivers every timer with deadline <= now and removes
+// it. Caller holds f.mu.
+func (f *Fake) fireDueLocked() {
+	var due, rest []*fakeTimer
+	for _, t := range f.timers {
+		if !t.at.After(f.now) {
+			due = append(due, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].at.Equal(due[j].at) {
+			return due[i].at.Before(due[j].at)
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, t := range due {
+		t.ch <- f.now // capacity 1, never armed twice: cannot block
+	}
+	f.timers = rest
+}

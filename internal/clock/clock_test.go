@@ -1,0 +1,76 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+func TestFakeAfterFiresInDeadlineOrder(t *testing.T) {
+	f := NewFake(t0)
+	late := f.After(3 * time.Second)
+	early := f.After(time.Second)
+	if got := f.Waiters(); got != 2 {
+		t.Fatalf("Waiters = %d, want 2", got)
+	}
+
+	f.Advance(500 * time.Millisecond)
+	select {
+	case <-early:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+
+	f.Advance(500 * time.Millisecond)
+	if at := <-early; !at.Equal(t0.Add(time.Second)) {
+		t.Fatalf("early fired at %v", at)
+	}
+	select {
+	case <-late:
+		t.Fatal("late timer fired with the early one")
+	default:
+	}
+	f.Advance(2 * time.Second)
+	if at := <-late; !at.Equal(t0.Add(3 * time.Second)) {
+		t.Fatalf("late fired at %v", at)
+	}
+	if got := f.Waiters(); got != 0 {
+		t.Fatalf("Waiters = %d after all fired, want 0", got)
+	}
+}
+
+func TestFakeZeroAfterWaitsForAdvance(t *testing.T) {
+	f := NewFake(t0)
+	ch := f.After(0)
+	select {
+	case <-ch:
+		t.Fatal("zero-duration timer fired before any Advance — 'armed' must stay observable")
+	default:
+	}
+	f.Advance(0)
+	<-ch
+}
+
+func TestFakeAdvanceToNext(t *testing.T) {
+	f := NewFake(t0)
+	if f.AdvanceToNext() {
+		t.Fatal("AdvanceToNext moved an idle clock")
+	}
+	a := f.After(5 * time.Second)
+	b := f.After(2 * time.Second)
+	if !f.AdvanceToNext() {
+		t.Fatal("AdvanceToNext found no timer")
+	}
+	if !f.Now().Equal(t0.Add(2 * time.Second)) {
+		t.Fatalf("clock at %v, want the earliest deadline", f.Now())
+	}
+	<-b
+	select {
+	case <-a:
+		t.Fatal("later timer fired early")
+	default:
+	}
+	f.AdvanceToNext()
+	<-a
+}

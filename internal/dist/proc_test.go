@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"cosched/internal/campaign"
+	"cosched/internal/obs"
+	"cosched/internal/scenario"
+	"cosched/internal/workload"
+)
+
+// TestMain doubles the test binary as the worker executable: when the
+// marker variable is set, the process IS a campaign worker — the same
+// re-exec everything the campaignw binary does, minus the build step.
+// ProcSpawner tests spawn os.Executable() with the marker, so lease
+// granting, result streaming, and SIGKILL delivery all cross real
+// process boundaries.
+func TestMain(m *testing.M) {
+	if os.Getenv("COSCHED_DIST_WORKER") == "1" {
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+		}
+		if err := WorkerMain(os.Stdin, os.Stdout, WorkerConfig{Logf: logf}); err != nil {
+			logf("%v", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func distTestSpec() scenario.Spec {
+	w := workload.Default()
+	w.N = 2
+	w.P = 8
+	w.MTBFYears = 2
+	return scenario.Spec{
+		Name:       "campaign-test",
+		XLabel:     "#procs",
+		Workload:   w,
+		Policies:   []string{"norc", "ig-el", "ff-el"},
+		Base:       "norc",
+		Replicates: 3,
+		Seed:       11,
+		Axes: []scenario.Axis{
+			{Param: scenario.ParamP, Values: []float64{8, 12}},
+			{Param: scenario.ParamMTBF, Values: []float64{2, 4}},
+		},
+	}
+}
+
+func resultJSONL(t *testing.T, r *campaign.Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func procSpawner(t *testing.T) *ProcSpawner {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ProcSpawner{
+		Path: exe,
+		Env:  append(os.Environ(), "COSCHED_DIST_WORKER=1"),
+	}
+}
+
+// TestProcSpawnerByteIdentity runs the campaign across real spawned
+// worker processes and compares against the in-process run.
+func TestProcSpawnerByteIdentity(t *testing.T) {
+	sp := distTestSpec()
+	want, err := campaign.Run(sp, campaign.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sp, Options{Workers: 2, Spawner: procSpawner(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultJSONL(t, res) != resultJSONL(t, want) {
+		t.Fatal("process-distributed output differs from single-process run")
+	}
+}
+
+// TestProcSpawnerChaosKill exercises the coordinator-side chaos hook
+// against real processes: the worker reporting the target unit is
+// SIGKILLed mid-send, the discarded unit is re-executed under a new
+// lease, and the output still matches.
+func TestProcSpawnerChaosKill(t *testing.T) {
+	sp := distTestSpec()
+	want, err := campaign.Run(sp, campaign.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewCampaign()
+	res, err := Run(sp, Options{
+		Workers:    2,
+		Spawner:    procSpawner(t),
+		Metrics:    m,
+		KillAtUnit: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultJSONL(t, res) != resultJSONL(t, want) {
+		t.Fatal("output diverged from single-process run after chaos kill")
+	}
+	if m.Dist.WorkersLost.Value() < 1 {
+		t.Error("chaos kill never registered a lost worker")
+	}
+	if m.Dist.Reassignments.Value() < 1 {
+		t.Error("discarded unit was never reassigned")
+	}
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// WorkerProc is the coordinator's handle on one spawned worker: the
+// control pipe in (worker stdin), the result pipe out (worker stdout),
+// a Kill that must be as abrupt as the platform allows (SIGKILL for
+// processes — failure detection is tested against workers that get no
+// chance to say goodbye), and a Wait that reaps the worker after its
+// out pipe has been drained to EOF.
+type WorkerProc struct {
+	In   io.WriteCloser
+	Out  io.ReadCloser
+	Kill func()
+	Wait func() error
+}
+
+// Spawner abstracts how worker processes come to be: ProcSpawner execs
+// real processes, the chaos harness fabricates in-process workers over
+// pipes with fault hooks. slot identifies the worker seat (0..N-1) for
+// logging and lease attribution; respawns reuse the seat.
+type Spawner interface {
+	Spawn(slot int) (*WorkerProc, error)
+}
+
+// ProcSpawner launches real worker processes (cmd/campaignw, or any
+// binary speaking the pipe protocol on stdio).
+type ProcSpawner struct {
+	// Path is the worker binary; Args are prepended to every spawn.
+	Path string
+	Args []string
+	// Stderr receives the workers' stderr (nil = the coordinator's own).
+	Stderr io.Writer
+	// Env, when non-nil, replaces the workers' environment (the re-exec
+	// test trick sets a marker variable here).
+	Env []string
+}
+
+// Spawn implements Spawner.
+func (p *ProcSpawner) Spawn(slot int) (*WorkerProc, error) {
+	cmd := exec.Command(p.Path, p.Args...)
+	if p.Stderr != nil {
+		cmd.Stderr = p.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	if p.Env != nil {
+		cmd.Env = p.Env
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %d stdin: %w", slot, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %d stdout: %w", slot, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: spawning worker %d: %w", slot, err)
+	}
+	var once sync.Once
+	return &WorkerProc{
+		In:  stdin,
+		Out: stdout,
+		Kill: func() {
+			once.Do(func() { cmd.Process.Kill() })
+		},
+		Wait: cmd.Wait,
+	}, nil
+}

@@ -196,6 +196,25 @@ type Campaign struct {
 	PointsPlanned Gauge   // grid points in the campaign
 	PointsStopped Counter // adaptive: points whose stopping rule has fired
 	RepsSaved     Gauge   // adaptive: budgeted replicates the stopping rule avoided so far
+
+	// Dist is the distributed coordinator's instrument bundle. Its single
+	// writer is the coordinator event loop; an in-process campaign never
+	// touches it, so the counters render as zeros there.
+	Dist DistMetrics
+}
+
+// DistMetrics instruments the distributed coordinator: worker-process
+// liveness, lease traffic, and the failure-handling outcomes
+// (reassignment, quarantine) the chaos harness asserts on.
+type DistMetrics struct {
+	WorkersSpawned   Counter // worker processes started, including respawns
+	WorkersLost      Counter // worker deaths detected (exit, kill, pipe loss)
+	WorkersLive      Gauge   // currently connected workers
+	LeasesGranted    Counter // claim records written
+	LeasesExpired    Counter // leases voided by death or heartbeat timeout
+	Reassignments    Counter // units re-leased after their lease expired
+	UnitsQuarantined Counter // units retired after exhausting their retry budget
+	Heartbeats       Counter // heartbeats received from workers
 }
 
 // NewCampaign returns an empty telemetry root; shards appear as workers
@@ -261,6 +280,20 @@ type Snapshot struct {
 	Sim            SimTotals    `json:"sim"`
 	UnitSeconds    HistSnapshot `json:"unit_seconds"`
 	RunEvents      HistSnapshot `json:"run_events"`
+	Dist           DistStats    `json:"dist"`
+}
+
+// DistStats is the snapshot view of the distributed coordinator's
+// instruments (all zero for in-process campaigns).
+type DistStats struct {
+	WorkersSpawned   uint64 `json:"workers_spawned"`
+	WorkersLost      uint64 `json:"workers_lost"`
+	WorkersLive      int64  `json:"workers_live"`
+	LeasesGranted    uint64 `json:"leases_granted"`
+	LeasesExpired    uint64 `json:"leases_expired"`
+	Reassignments    uint64 `json:"reassignments"`
+	UnitsQuarantined uint64 `json:"units_quarantined"`
+	Heartbeats       uint64 `json:"heartbeats"`
 }
 
 // Snapshot merges the current state. Safe to call concurrently with
@@ -279,6 +312,16 @@ func (c *Campaign) Snapshot() Snapshot {
 		PointsStopped:  c.PointsStopped.Value(),
 		RepsSaved:      int64(c.RepsSaved.Value()),
 		ETASeconds:     -1,
+		Dist: DistStats{
+			WorkersSpawned:   c.Dist.WorkersSpawned.Value(),
+			WorkersLost:      c.Dist.WorkersLost.Value(),
+			WorkersLive:      int64(c.Dist.WorkersLive.Value()),
+			LeasesGranted:    c.Dist.LeasesGranted.Value(),
+			LeasesExpired:    c.Dist.LeasesExpired.Value(),
+			Reassignments:    c.Dist.Reassignments.Value(),
+			UnitsQuarantined: c.Dist.UnitsQuarantined.Value(),
+			Heartbeats:       c.Dist.Heartbeats.Value(),
+		},
 	}
 	for w, sh := range shards {
 		units := sh.Units.Value()

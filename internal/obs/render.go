@@ -62,6 +62,15 @@ func writePrometheus(w io.Writer, s Snapshot) error {
 	counter("cosched_sim_redistributions_total", "Tasks whose allocation actually changed.", float64(s.Sim.Redistributions))
 	counter("cosched_sim_redist_seconds_total", "Total simulated redistribution cost paid.", s.Sim.RedistSeconds)
 
+	counter("cosched_dist_workers_spawned_total", "Distributed worker processes started, including respawns.", float64(s.Dist.WorkersSpawned))
+	counter("cosched_dist_workers_lost_total", "Distributed worker deaths detected (exit, kill, pipe loss).", float64(s.Dist.WorkersLost))
+	gauge("cosched_dist_workers_live", "Currently connected distributed workers.", float64(s.Dist.WorkersLive))
+	counter("cosched_dist_leases_granted_total", "Unit-range leases granted to distributed workers.", float64(s.Dist.LeasesGranted))
+	counter("cosched_dist_leases_expired_total", "Leases voided by worker death or heartbeat timeout.", float64(s.Dist.LeasesExpired))
+	counter("cosched_dist_reassignments_total", "Units re-leased to another worker after their lease expired.", float64(s.Dist.Reassignments))
+	counter("cosched_dist_units_quarantined_total", "Units retired after exhausting their retry budget.", float64(s.Dist.UnitsQuarantined))
+	counter("cosched_dist_heartbeats_total", "Heartbeats received from distributed workers.", float64(s.Dist.Heartbeats))
+
 	writeHistogram(pr, "cosched_unit_seconds", "Wall-clock per executed unit.", s.UnitSeconds)
 	writeHistogram(pr, "cosched_sim_run_events", "Events handled per simulator run.", s.RunEvents)
 	return err

@@ -1,0 +1,72 @@
+// Package retry holds the per-key exponential backoff shared by the
+// campaign daemon (per-client retry delays) and the distributed
+// coordinator (per-worker-slot respawn delays). It lives in its own
+// package — rather than internal/service, where it started — so that
+// internal/dist can use it without an import cycle through the daemon.
+package retry
+
+import (
+	"sync"
+	"time"
+
+	"cosched/internal/clock"
+)
+
+// Backoff tracks per-key exponential retry delays, in the style of
+// client-go's flowcontrol backoff manager: each failure doubles the
+// key's delay up to a cap, and an entry left alone for long enough
+// (2 × cap) resets to the base on its next use. Keying isolates
+// failure domains: one client's repeatedly failing spec (or one
+// crashing worker slot) cannot grow another key's retry latency.
+type Backoff struct {
+	base, max time.Duration
+	clk       clock.Clock
+
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	delay    time.Duration
+	lastUsed time.Time
+}
+
+// NewBackoff returns a per-key exponential backoff with the given base
+// delay and cap, timed by clk (nil means the wall clock).
+func NewBackoff(base, max time.Duration, clk clock.Clock) *Backoff {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Backoff{base: base, max: max, clk: clk, entries: map[string]*entry{}}
+}
+
+// Next records one failure for key and returns the delay to wait before
+// retrying: base on the first failure (or after a quiet period), then
+// doubling up to the cap.
+func (b *Backoff) Next(key string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clk.Now()
+	e := b.entries[key]
+	switch {
+	case e == nil:
+		e = &entry{delay: b.base}
+		b.entries[key] = e
+	case now.Sub(e.lastUsed) > 2*b.max:
+		// The key has been healthy (or idle) long enough: start over.
+		e.delay = b.base
+	default:
+		if e.delay = e.delay * 2; e.delay > b.max {
+			e.delay = b.max
+		}
+	}
+	e.lastUsed = now
+	return e.delay
+}
+
+// Reset clears key's accumulated delay after a success.
+func (b *Backoff) Reset(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.entries, key)
+}

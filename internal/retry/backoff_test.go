@@ -1,0 +1,49 @@
+package retry
+
+import (
+	"testing"
+	"time"
+
+	"cosched/internal/clock"
+)
+
+// TestBackoffSchedule pins the per-key schedule on a fake clock: base,
+// doubling, cap, quiet-period reset, explicit reset, and key isolation
+// — all exact equalities, no wall-clock slack.
+func TestBackoffSchedule(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1_700_000_000, 0))
+	b := NewBackoff(100*time.Millisecond, time.Second, clk)
+
+	for i, want := range []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second, // stays capped
+	} {
+		if got := b.Next("alice"); got != want {
+			t.Fatalf("failure %d: delay %v, want %v", i+1, got, want)
+		}
+		clk.Advance(10 * time.Millisecond)
+	}
+
+	// Another key is an isolated failure domain: it starts at base no
+	// matter how hot alice's entry runs.
+	if got := b.Next("bob"); got != 100*time.Millisecond {
+		t.Fatalf("fresh key delay %v, want base", got)
+	}
+
+	// A quiet period longer than 2x the cap starts the key over.
+	clk.Advance(2*time.Second + time.Millisecond)
+	if got := b.Next("alice"); got != 100*time.Millisecond {
+		t.Fatalf("post-quiet delay %v, want base", got)
+	}
+
+	// An explicit Reset (success) does the same immediately.
+	b.Next("alice")
+	b.Reset("alice")
+	if got := b.Next("alice"); got != 100*time.Millisecond {
+		t.Fatalf("post-reset delay %v, want base", got)
+	}
+}

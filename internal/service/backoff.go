@@ -3,62 +3,20 @@ package service
 import (
 	"sync"
 	"time"
+
+	"cosched/internal/clock"
+	"cosched/internal/retry"
 )
 
-// Backoff tracks per-key exponential retry delays, in the style of
-// client-go's flowcontrol backoff manager: each failure doubles the
-// key's delay up to a cap, and an entry left alone for long enough
-// (2 × cap) resets to the base on its next use. The daemon keys retries
-// by client, so one client's repeatedly failing spec cannot grow another
-// client's retry latency.
-type Backoff struct {
-	base, max time.Duration
-
-	mu      sync.Mutex
-	entries map[string]*backoffEntry
-	now     func() time.Time // test hook
-}
-
-type backoffEntry struct {
-	delay    time.Duration
-	lastUsed time.Time
-}
+// Backoff is the per-key exponential retry-delay manager, now shared
+// with the distributed coordinator via internal/retry (the alias keeps
+// the daemon's historical API).
+type Backoff = retry.Backoff
 
 // NewBackoff returns a per-key exponential backoff with the given base
-// delay and cap.
-func NewBackoff(base, max time.Duration) *Backoff {
-	return &Backoff{base: base, max: max, entries: map[string]*backoffEntry{}, now: time.Now}
-}
-
-// Next records one failure for key and returns the delay to wait before
-// retrying: base on the first failure (or after a quiet period), then
-// doubling up to the cap.
-func (b *Backoff) Next(key string) time.Duration {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	now := b.now()
-	e := b.entries[key]
-	switch {
-	case e == nil:
-		e = &backoffEntry{delay: b.base}
-		b.entries[key] = e
-	case now.Sub(e.lastUsed) > 2*b.max:
-		// The key has been healthy (or idle) long enough: start over.
-		e.delay = b.base
-	default:
-		if e.delay = e.delay * 2; e.delay > b.max {
-			e.delay = b.max
-		}
-	}
-	e.lastUsed = now
-	return e.delay
-}
-
-// Reset clears key's accumulated delay after a success.
-func (b *Backoff) Reset(key string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	delete(b.entries, key)
+// delay and cap, timed by clk (nil means the wall clock).
+func NewBackoff(base, max time.Duration, clk clock.Clock) *Backoff {
+	return retry.NewBackoff(base, max, clk)
 }
 
 // rateLimiter is a token bucket: Allow spends one token if available,

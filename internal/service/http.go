@@ -143,11 +143,21 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request, r *run) 
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 		fl.Flush()
 	}
+	// Event-driven with a heartbeat floor: unit completions wake the
+	// stream through the run's subscriber registry (coalesced,
+	// non-blocking on the campaign side), and the ticker keeps proxies
+	// from timing out an idle stream. The subscription dies with the
+	// request — a dropped client unregisters on return, leaking nothing
+	// and never costing the campaign more than one failed channel send.
+	notify, unsubscribe := r.subscribe()
+	defer unsubscribe()
 	emit("progress", s.status(r))
 	tick := time.NewTicker(s.cfg.HeartbeatEvery)
 	defer tick.Stop()
 	for {
 		select {
+		case <-notify:
+			emit("progress", s.status(r))
 		case <-tick.C:
 			emit("progress", s.status(r))
 		case <-r.done:

@@ -25,9 +25,12 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"syscall"
 	"time"
 
 	"cosched/internal/campaign"
+	"cosched/internal/clock"
+	"cosched/internal/dist"
 	"cosched/internal/obs"
 	"cosched/internal/scenario"
 )
@@ -56,6 +59,37 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+	// WorkersExec, when non-empty, switches campaign execution to the
+	// distributed backend: the daemon spawns DistWorkers worker processes
+	// running this binary (cmd/campaignw) per campaign and coordinates
+	// them through the spool manifest as the shared lease log. Campaigns
+	// the distributed runner cannot shard (adaptive precision mode) fall
+	// back to the in-process pool.
+	WorkersExec string
+	// DistWorkers is the worker-process count per distributed campaign
+	// (0 = 3).
+	DistWorkers int
+	// LeaseUnits and LeaseTTL shape distributed leases (0 = dist defaults).
+	LeaseUnits int
+	LeaseTTL   time.Duration
+	// Clock is the time source for backoff, retry waits, and rate
+	// limiting (nil = wall clock). Tests inject a fake to make retry
+	// timing deterministic.
+	Clock clock.Clock
+	// ChaosKillUnit, when > 0, makes the distributed coordinator
+	// SIGKILL the worker holding that unit index exactly once, the
+	// first time the unit completes — the CI chaos-smoke hook proving
+	// reassignment keeps results byte-identical. 0 (the zero value)
+	// means off.
+	ChaosKillUnit int
+
+	// metaWriteErr, when non-nil, is consulted before every meta.json
+	// write — the injectable-fs seam for spool-failure tests (tests are
+	// in-package, so the field stays unexported).
+	metaWriteErr func(id string) error
+	// manifestWriteErr, when non-nil, is installed as every campaign
+	// manifest's write-error hook (same seam, journal side).
+	manifestWriteErr func(op string) error
 }
 
 func (c *Config) fillDefaults() {
@@ -89,6 +123,12 @@ func (c *Config) fillDefaults() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.DistWorkers <= 0 {
+		c.DistWorkers = 3
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
 }
 
 // run is the in-memory state of one accepted campaign.
@@ -107,6 +147,54 @@ type run struct {
 	mu           sync.Mutex
 	meta         Meta
 	userCanceled bool // cancel came from the client, not daemon shutdown
+
+	// subMu guards the /stream subscriber set. Subscribers are woken
+	// through capacity-1 channels with non-blocking sends, so a slow or
+	// dropped client can never block the campaign's progress callback.
+	subMu sync.Mutex
+	subs  map[chan struct{}]struct{}
+}
+
+// notifyProgress is the campaign's Options.Progress callback: it wakes
+// every /stream subscriber. Sends coalesce (capacity 1, drop when
+// full), so the cost per completed unit is bounded no matter how many
+// or how slow the subscribers.
+func (r *run) notifyProgress(done, total int) {
+	r.subMu.Lock()
+	for ch := range r.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	r.subMu.Unlock()
+}
+
+// subscribe registers one /stream client for progress wakeups. The
+// returned cancel must be called when the client goes away — it is the
+// whole subscriber lifecycle, so a dropped connection leaves nothing
+// behind.
+func (r *run) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	r.subMu.Lock()
+	if r.subs == nil {
+		r.subs = map[chan struct{}]struct{}{}
+	}
+	r.subs[ch] = struct{}{}
+	r.subMu.Unlock()
+	return ch, func() {
+		r.subMu.Lock()
+		delete(r.subs, ch)
+		r.subMu.Unlock()
+	}
+}
+
+// subscriberCount reports the live /stream subscriber set size (the
+// leak regression tests' observable).
+func (r *run) subscriberCount() int {
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	return len(r.subs)
 }
 
 // Meta returns a copy of the run's current durable state.
@@ -155,7 +243,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		pool:     campaign.NewPool(cfg.Workers),
-		backoff:  NewBackoff(cfg.BackoffBase, cfg.BackoffMax),
+		backoff:  NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Clock),
 		slots:    make(chan struct{}, cfg.MaxActive),
 		quit:     make(chan struct{}),
 		runs:     map[string]*run{},
@@ -347,9 +435,19 @@ func (s *Server) Cancel(id string) bool {
 	return true
 }
 
+// saveMeta persists one run's Meta through the injectable-fs seam.
+func (s *Server) saveMeta(meta Meta) error {
+	if h := s.cfg.metaWriteErr; h != nil {
+		if err := h(meta.ID); err != nil {
+			return err
+		}
+	}
+	return saveMeta(s.cfg.SpoolDir, meta)
+}
+
 // allowSubmit runs the per-client token bucket for one submission.
 func (s *Server) allowSubmit(client string) (bool, time.Duration) {
-	now := time.Now()
+	now := s.cfg.Clock.Now()
 	s.mu.Lock()
 	l, ok := s.limiters[client]
 	if !ok {
@@ -360,7 +458,12 @@ func (s *Server) allowSubmit(client string) (bool, time.Duration) {
 	return l.allow(now)
 }
 
-// setState durably transitions a run's lifecycle state.
+// setState durably transitions a run's lifecycle state. A spool write
+// failure cannot be swallowed — a daemon whose disk is gone must not
+// keep reporting campaigns healthy — so when meta.json cannot be
+// written the run is forced to StateFailed in memory with the spool
+// error recorded (clients see it immediately even though the disk copy
+// is stale).
 func (s *Server) setState(r *run, state string, runErr error) {
 	r.mu.Lock()
 	r.meta.State = state
@@ -374,9 +477,25 @@ func (s *Server) setState(r *run, state string, runErr error) {
 	}
 	meta := r.meta
 	r.mu.Unlock()
-	if err := saveMeta(s.cfg.SpoolDir, meta); err != nil {
+	if err := s.saveMeta(meta); err != nil {
 		s.cfg.Logf("service: persisting state of %s: %v", r.id, err)
+		r.mu.Lock()
+		r.meta.State = StateFailed
+		r.meta.Error = fmt.Sprintf("persisting campaign state: %v", err)
+		if r.meta.FinishedAt == nil {
+			t := time.Now().UTC()
+			r.meta.FinishedAt = &t
+		}
+		r.mu.Unlock()
 	}
+}
+
+// spoolWriteErr reports whether err is a storage failure no retry can
+// fix — the disk is full or the spool turned read-only. These fail the
+// campaign immediately (with the error recorded) instead of burning the
+// retry budget against a dead filesystem.
+func spoolWriteErr(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, os.ErrPermission) || errors.Is(err, syscall.EROFS)
 }
 
 // execute drives one campaign to a terminal state: wait for an
@@ -408,8 +527,12 @@ func (s *Server) execute(r *run) {
 		r.meta.Attempts = attempt
 		meta := r.meta
 		r.mu.Unlock()
-		if err := saveMeta(s.cfg.SpoolDir, meta); err != nil {
-			s.cfg.Logf("service: persisting state of %s: %v", r.id, err)
+		if err := s.saveMeta(meta); err != nil {
+			// The spool is the durability contract; without it the
+			// campaign must not pretend to run.
+			s.setState(r, StateFailed, fmt.Errorf("persisting campaign state: %w", err))
+			s.cfg.Logf("service: campaign %s failed: cannot persist state: %v", r.id, err)
+			return
 		}
 
 		err := s.runOnce(r)
@@ -432,6 +555,12 @@ func (s *Server) execute(r *run) {
 				s.cfg.Logf("service: campaign %s paused for shutdown", r.id)
 			}
 			return
+		case spoolWriteErr(err):
+			// The journal (or spool fs) refused a write: retrying would
+			// loop against a full or read-only disk. Fail loudly instead.
+			s.setState(r, StateFailed, err)
+			s.cfg.Logf("service: campaign %s failed: spool write error: %v", r.id, err)
+			return
 		case attempt >= s.cfg.MaxAttempts:
 			s.setState(r, StateFailed, err)
 			s.cfg.Logf("service: campaign %s failed after %d attempts: %v", r.id, attempt, err)
@@ -440,7 +569,7 @@ func (s *Server) execute(r *run) {
 		delay := s.backoff.Next(r.client)
 		s.cfg.Logf("service: campaign %s attempt %d failed (%v), retrying in %v", r.id, attempt, err, delay)
 		select {
-		case <-time.After(delay):
+		case <-s.cfg.Clock.After(delay):
 		case <-r.cancel:
 			r.mu.Lock()
 			user := r.userCanceled
@@ -455,9 +584,12 @@ func (s *Server) execute(r *run) {
 	}
 }
 
-// runOnce executes the campaign once on the shared pool, resuming from
-// (and fsync-appending to) its spool manifest, and atomically writes
-// results.jsonl on success.
+// runOnce executes the campaign once — on the distributed worker fleet
+// when one is configured and the spec is shardable, on the shared
+// in-process pool otherwise — resuming from (and fsync-appending to)
+// its spool manifest, and atomically writes results.jsonl on success.
+// Both backends run the same unit code and fold positionally, so which
+// one executed a campaign is invisible in its results.
 func (s *Server) runOnce(r *run) error {
 	man, err := campaign.OpenManifest(manifestPath(s.cfg.SpoolDir, r.id))
 	if err != nil {
@@ -465,15 +597,37 @@ func (s *Server) runOnce(r *run) error {
 	}
 	// The daemon's restart contract rests on the journal: always fsync.
 	man.SetSync(true)
+	man.SetWriteErrHook(s.cfg.manifestWriteErr)
 	defer man.Close()
 
-	res, err := campaign.Run(r.spec, campaign.Options{
-		Pool:     s.pool,
-		Client:   r.client,
-		Manifest: man,
-		Metrics:  r.metrics,
-		Cancel:   r.cancel,
-	})
+	var res *campaign.Result
+	if s.cfg.WorkersExec != "" && r.spec.Precision == nil {
+		res, err = dist.Run(r.spec, dist.Options{
+			Workers:    s.cfg.DistWorkers,
+			LeaseUnits: s.cfg.LeaseUnits,
+			LeaseTTL:   s.cfg.LeaseTTL,
+			Clock:      s.cfg.Clock,
+			Spawner:    &dist.ProcSpawner{Path: s.cfg.WorkersExec},
+			Manifest:   man,
+			Metrics:    r.metrics,
+			Cancel:     r.cancel,
+			KillAtUnit: s.cfg.ChaosKillUnit,
+			Logf:       s.cfg.Logf,
+			Progress:   r.notifyProgress,
+		})
+	} else {
+		// Adaptive (precision-mode) campaigns cannot be sharded across
+		// processes — their unit set is decided by a sequential stopping
+		// rule — so they gracefully fall back to the in-process pool.
+		res, err = campaign.Run(r.spec, campaign.Options{
+			Pool:     s.pool,
+			Client:   r.client,
+			Manifest: man,
+			Metrics:  r.metrics,
+			Cancel:   r.cancel,
+			Progress: r.notifyProgress,
+		})
+	}
 	if err != nil {
 		return err
 	}
