@@ -337,6 +337,78 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(float64(units)/b.Elapsed().Seconds(), "units/s")
 }
 
+// heterogeneousSweepSpec is the compile-heavy campaign shape the
+// compiled-model cache targets: a heterogeneous workload (every
+// replicate draws a fresh pack, so the old homogeneous-point sharing
+// never applied), a large instance (n=40, P=400 — table compiles
+// dominate the short, mild-failure simulations), and a downtime axis,
+// which leaves the pack and failure rate untouched across the grid so
+// every point past the first rebuilds only the prefactor column.
+func heterogeneousSweepSpec() scenario.Spec {
+	w := workload.Default() // MInf ≠ MSup: heterogeneous
+	w.N = 50
+	w.P = 600
+	w.MTBFYears = 50
+	return scenario.Spec{
+		Name:       "bench-heterogeneous",
+		Workload:   w,
+		Policies:   []string{"norc", "ff-norc"},
+		Base:       "norc",
+		Replicates: 2,
+		Seed:       1,
+		Axes: []scenario.Axis{
+			{Param: scenario.ParamDowntime, Values: []float64{30, 60, 120, 240, 480, 960}},
+		},
+	}
+}
+
+// BenchmarkCampaignThroughputHeterogeneous measures the headline payoff
+// of the compiled-model cache: re-executing a heterogeneous resilience
+// sweep against the warm process-global cache — the campaignd /
+// repeated-refinement steady state. Every unit's tables come back as
+// hits of the exact (pack, resilience, cost model, P) key, and the
+// engine's (pointer, Gen)-keyed schedule memo then replays Algorithm 1
+// instead of re-deriving it, so a unit pays only its event loop. The
+// cache is warmed by one untimed run; the cold fill is the Misses ×
+// BenchmarkCompileCold story, amortized away in this steady state.
+func BenchmarkCampaignThroughputHeterogeneous(b *testing.B) {
+	sp := heterogeneousSweepSpec()
+	cache := model.NewCache(0)
+	if _, err := campaign.Run(sp, campaign.Options{ModelCache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	units := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(sp, campaign.Options{ModelCache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		units += res.Units()
+	}
+	b.ReportMetric(float64(units)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkCampaignThroughputHeterogeneousNoCache is the same sweep
+// with the cache disabled — every unit recompiles its tables and
+// re-derives its schedule privately, the pre-cache baseline the
+// speedup is quoted against.
+func BenchmarkCampaignThroughputHeterogeneousNoCache(b *testing.B) {
+	sp := heterogeneousSweepSpec()
+	units := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(sp, campaign.Options{NoModelCache: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		units += res.Units()
+	}
+	b.ReportMetric(float64(units)/b.Elapsed().Seconds(), "units/s")
+}
+
 // BenchmarkCampaignThroughputAdaptive runs the same grid under the
 // adaptive precision controller: every point burns replicates only until
 // its 95% batch-means CI is within ±5% of the mean (capped at 64). The

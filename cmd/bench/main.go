@@ -36,14 +36,18 @@ import (
 // headline is the default benchmark set: the Monte-Carlo steady state
 // (RunSingle, plus its online-arrivals variant), the one-shot path
 // (EngineSingleRun), the campaign runner end to end
-// (CampaignThroughput[Adaptive]), the compiled-model micro pair
-// (ExpectedTimeRaw vs CompiledAt, plus the table build), and the row
-// kernels (CandidateRowSweep for the batched min-reduction,
+// (CampaignThroughput[Adaptive], plus the heterogeneous-sweep pair that
+// quotes the compiled-model cache's payoff against its own no-cache
+// baseline), the compiled-model micro set (ExpectedTimeRaw vs
+// CompiledAt; CompileCold/CompileWarm for the table build on fresh vs
+// reused arenas; RecompileDelta for the incremental rebuild), and the
+// row kernels (CandidateRowSweep for the batched min-reduction,
 // DecisionRound for a full heuristic round over it).
 const headline = "BenchmarkRunSingle$|BenchmarkRunOnline$|BenchmarkEngineSingleRun$" +
 	"|BenchmarkCampaignThroughput$|BenchmarkCampaignThroughputAdaptive$" +
-	"|BenchmarkExpectedTimeRaw$|BenchmarkCompiledAt$|BenchmarkCompile$" +
-	"|BenchmarkCandidateRowSweep$|BenchmarkDecisionRound$"
+	"|BenchmarkCampaignThroughputHeterogeneous$|BenchmarkCampaignThroughputHeterogeneousNoCache$" +
+	"|BenchmarkExpectedTimeRaw$|BenchmarkCompiledAt$|BenchmarkCompileCold$|BenchmarkCompileWarm$" +
+	"|BenchmarkRecompileDelta$|BenchmarkCandidateRowSweep$|BenchmarkDecisionRound$"
 
 // ledger is the JSON document layout. The environment block (Go version,
 // GOMAXPROCS, CPU, commit) makes a ledger self-describing: a reader of a

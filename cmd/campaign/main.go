@@ -204,11 +204,13 @@ func realMain() error {
 	}
 
 	start := time.Now()
+	cachePrev := campaign.ModelCacheStats()
 	res, err := campaign.Run(sp, opt)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	cacheDelta := campaign.ModelCacheStats().Delta(cachePrev)
 
 	finishHeartbeat() // emits the final heartbeat line
 	if *metricsDump != "" {
@@ -265,6 +267,14 @@ func realMain() error {
 	}
 	fmt.Printf("campaign %q done: %d units in %v (%.1f units/s)\n",
 		sp.Name, res.Units(), elapsed.Round(time.Millisecond), float64(res.Units())/elapsed.Seconds())
+	// One-line compiled-model cache summary. Silent when the cache saw no
+	// traffic (COSCHED_MODEL_CACHE=off, or a spec whose tables never reach
+	// the shared cache), so pre-cache output is byte-identical.
+	if cacheDelta.Hits+cacheDelta.Misses > 0 {
+		fmt.Printf("model cache: %d hits / %d misses (%d delta, %d full builds), %d evictions, %s resident in %d entries\n",
+			cacheDelta.Hits, cacheDelta.Misses, cacheDelta.DeltaBuilds, cacheDelta.FullBuilds,
+			cacheDelta.Evictions, fmtBytes(cacheDelta.ResidentBytes), cacheDelta.Entries)
+	}
 	if res.Adaptive() {
 		budget := res.ReplicateBudget()
 		saved := 100 * float64(budget-res.Units()) / float64(budget)
@@ -447,5 +457,20 @@ func exampleSpec() scenario.Spec {
 			{Param: scenario.ParamP, Values: []float64{40, 80, 160}},
 			{Param: scenario.ParamMTBF, Values: []float64{5, 20}},
 		},
+	}
+}
+
+// fmtBytes renders a byte count with a binary-prefix unit, compact
+// enough for the one-line cache summary.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cosched/internal/core"
+	"cosched/internal/model"
 	"cosched/internal/scenario"
 	"cosched/internal/stats"
 )
@@ -116,6 +117,10 @@ type adaptiveController struct {
 	// the coordinating goroutine; hand-off happens through the job and
 	// result structs, never by sharing.
 	free [][]float64
+	// cache/cacheStart let syncMetrics mirror the compiled-model cache's
+	// per-run counter deltas into telemetry (cache may be nil).
+	cache      *model.Cache
+	cacheStart model.CacheStats
 }
 
 // runAdaptive executes a scenario carrying a precision block.
@@ -181,12 +186,15 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 		workers = 1
 	}
 
-	// Per-point shared compiled models, built at point-scheduling time
-	// and handed to the workers read-only (nil for points that must
-	// compile per unit), plus the once-per-campaign arrival trace. Built
-	// before the first advance: in shared-pool mode enqueue submits jobs
-	// immediately, and those jobs capture the shared models.
-	shared := sharedPointModels(sp, points, policies)
+	// The campaign's model-sharing state (pack classes, pack memo,
+	// compiled-model cache; see models.go), plus the once-per-campaign
+	// arrival trace. Built before the first advance: in shared-pool mode
+	// enqueue submits jobs immediately, and those jobs capture it.
+	um := newUnitModels(points, modelCacheFor(opt))
+	c.cache = um.cache
+	if opt.Metrics != nil {
+		c.cacheStart = um.cache.Stats()
+	}
 	trace, err := loadArrivalTrace(sp)
 	if err != nil {
 		return nil, err
@@ -203,7 +211,7 @@ func runAdaptive(sp scenario.Spec, opt Options, points []scenario.RunPoint, poli
 			return
 		}
 		ws.bind(opt.Metrics, w)
-		vals, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, shared[job.point], trace)
+		vals, err := ws.runUnit(sp, points[job.point], policies, semantics, job.rep, um, trace)
 		r := unitResult{point: job.point, rep: job.rep, err: err}
 		if err == nil {
 			// runUnit reuses its buffer; the result outlives it,
@@ -471,6 +479,7 @@ func (c *adaptiveController) syncMetrics() {
 	m.UnitsPlanned.Set(float64(c.estTotal))
 	m.QueueDepth.Set(float64(c.inflight))
 	m.RepsSaved.Set(float64(len(c.points)*c.maxReps - c.estTotal))
+	m.SetModelCache(cacheObs(c.cache.Stats().Delta(c.cacheStart)))
 }
 
 // shouldStop evaluates the sequential stopping rule for one point: stop

@@ -140,6 +140,16 @@ type Options struct {
 	// Run returns ErrCanceled. With a manifest attached the canceled
 	// campaign resumes exactly where it stopped.
 	Cancel <-chan struct{}
+	// ModelCache, when non-nil, replaces the process-global compiled-
+	// model cache for this run (tests and benchmarks isolate cache state
+	// this way). Results are byte-identical with any cache, including
+	// none — the cache trades compile time, never values.
+	ModelCache *model.Cache
+	// NoModelCache disables compiled-model caching for this run; every
+	// unit compiles privately, exactly the pre-cache behavior. The
+	// COSCHED_MODEL_CACHE=off environment gate does the same process-
+	// wide.
+	NoModelCache bool
 }
 
 // Result is a completed campaign: the expanded grid, the resolved
@@ -224,9 +234,14 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		m.QueueDepth.Set(float64(total - done))
 	}
 
-	// Per-point shared models are built here, at point-scheduling time:
-	// workers receive them read-only and never compile for these points.
-	shared := sharedPointModels(sp, points, policies)
+	// The campaign's model-sharing state: pack classes, the pack memo
+	// and the compiled-model cache. Workers consult it instead of
+	// compiling per unit; see models.go.
+	um := newUnitModels(points, modelCacheFor(opt))
+	var cacheStart model.CacheStats
+	if opt.Metrics != nil {
+		cacheStart = um.cache.Stats()
+	}
 	trace, err := loadArrivalTrace(sp)
 	if err != nil {
 		return nil, err
@@ -245,7 +260,7 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 	// into the result under mu — the shared body of both execution modes.
 	runOne := func(ws *workerState, unit int) {
 		pi, rep := unit/sp.Replicates, unit%sp.Replicates
-		vals, err := ws.runUnit(sp, points[pi], policies, semantics, rep, shared[pi], trace)
+		vals, err := ws.runUnit(sp, points[pi], policies, semantics, rep, um, trace)
 		if err != nil {
 			fail(fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, points[pi].X, rep, err))
 			return
@@ -262,6 +277,7 @@ func Run(sp scenario.Spec, opt Options) (*Result, error) {
 		if m := opt.Metrics; m != nil {
 			m.UnitsDone.Set(float64(done))
 			m.QueueDepth.Set(float64(total - done))
+			m.SetModelCache(cacheObs(um.cache.Stats().Delta(cacheStart)))
 		}
 		if opt.Progress != nil {
 			opt.Progress(done, total)
@@ -420,116 +436,42 @@ func (ws *workerState) bind(m *obs.Campaign, w int) {
 	ws.attach(m.Shard(w))
 }
 
-// pointModel is the read-only state one grid point shares across the
-// whole worker pool: the task draw and the compiled per-(task,
-// allocation) resilience tables, built once at point-scheduling time.
-// Sharing is only sound when every replicate of the point draws an
-// identical pack — the homogeneous-workload case (MInf == MSup), where
-// Generate pins every problem size to MInf — so heterogeneous points
-// carry a nil pointModel and compile per unit instead. Shared models
-// live for the whole campaign (O(points) memory, ~n·P/2 entries each);
-// see DESIGN.md §9.4 for the tradeoff.
-type pointModel struct {
-	tasks  []model.Task
-	comp   *model.Compiled // failure-enabled tables (nil when no policy uses them)
-	compFF *model.Compiled // fault-free tables (nil when no policy is fault-free)
-}
-
-// disableSharedPointModels forces the per-unit compile path; tests use it
-// to pin the shared path bit-identical to the unshared one.
-var disableSharedPointModels = false
-
-// sharedPointModels builds the per-grid-point shared models for every
-// point whose replicates provably draw the same pack. Entries are nil for
-// points that must compile per unit; the slice itself is the scheduler's
-// hand-off to the workers and is never mutated after this returns.
-// Online campaigns never share: the simulator appends per-arrival rows
-// to its tables during a run, so they must stay private per worker.
-func sharedPointModels(sp scenario.Spec, points []scenario.RunPoint, policies []scenario.PolicySpec) []*pointModel {
-	if disableSharedPointModels || sp.Arrivals != nil {
-		return make([]*pointModel, len(points))
-	}
-	anyFF, anyFault := false, false
-	for _, pol := range policies {
-		if pol.FaultFree {
-			anyFF = true
-		} else {
-			anyFault = true
-		}
-	}
-	shared := make([]*pointModel, len(points))
-	src := rng.New(0)
-	for pi, pt := range points {
-		if pt.Spec.MInf != pt.Spec.MSup {
-			continue // heterogeneous draw: packs differ per replicate
-		}
-		genSpec := pt.Spec
-		if faultFreeOnly(policies) {
-			genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
-		}
-		// The draw is the same for every replicate of a homogeneous
-		// point; replicate 0's stream makes that explicit.
-		src.Reseed(rng.SubSeed(sp.Seed, streamTasks, uint64(pt.Index), 0))
-		tasks, err := genSpec.Generate(src)
-		if err != nil {
-			continue // the per-unit path will surface the error
-		}
-		pm := &pointModel{tasks: tasks}
-		if anyFault {
-			pm.comp, err = model.Compile(tasks, pt.Spec.Resilience(), model.CostModel{}, pt.Spec.P)
-			if err != nil {
-				continue
-			}
-		}
-		if anyFF {
-			ffSpec := pt.Spec
-			ffSpec.MTBFYears, ffSpec.SilentMTBFYears = 0, 0
-			pm.compFF, err = model.Compile(tasks, ffSpec.Resilience(), model.CostModel{}, ffSpec.P)
-			if err != nil {
-				continue
-			}
-		}
-		shared[pi] = pm
-	}
-	return shared
-}
-
 // runUnit executes every policy of one (point, replicate) cell on the
 // worker's persistent arena. The unit derives its streams purely from
-// (seed, point index, replicate), so any shard computes identical
-// numbers, and all policies share the task draw, the fault-stream seed
-// and — online — the arrival schedule (common random numbers). The
-// compiled instance model is built once per unit — or taken from the
-// point's shared pointModel — and reused by every policy; online units
+// (seed, pack class, replicate) for the task draw and (seed, point
+// index, replicate) for faults and arrivals, so any shard computes
+// identical numbers, and all policies share the task draw, the
+// fault-stream seed and — online — the arrival schedule (common random
+// numbers). The compiled instance model is resolved once per unit —
+// from the campaign's compiled-model cache when enabled, else built on
+// the worker's private arena — and reused by every policy; online units
 // instead let the simulator own its tables, since the kernel appends
 // per-arrival rows during the run. The returned slice holds
 // metricsPerPolicy values per policy (metric-major within a policy) and
 // is reused by the next unit of this worker; Run copies what it keeps.
 // trace carries the campaign's pre-loaded arrival-trace entries (nil
 // unless the spec uses the trace process).
-func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int, shared *pointModel, trace []workload.TraceArrival) ([]float64, error) {
+func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies []scenario.PolicySpec, semantics core.Semantics, rep int, um *unitModels, trace []workload.TraceArrival) ([]float64, error) {
 	var unitStart time.Time
 	if ws.shard != nil {
 		unitStart = time.Now()
 	}
 	faultSeed := rng.SubSeed(sp.Seed, streamFaults, uint64(pt.Index), uint64(rep))
-	var tasks []model.Task
-	if shared != nil {
-		tasks = shared.tasks
-	} else {
-		taskSeed := rng.SubSeed(sp.Seed, streamTasks, uint64(pt.Index), uint64(rep))
-		genSpec := pt.Spec
-		if faultFreeOnly(policies) {
-			// Mirror scenario.Validate: a fault-free-only scenario never uses
-			// the failure fields, so generation must not reject them either.
-			genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
-		}
-		ws.taskRNG.Reseed(taskSeed)
-		var err error
-		tasks, err = genSpec.Generate(ws.taskRNG)
-		if err != nil {
-			return nil, err
-		}
+	genSpec := pt.Spec
+	if faultFreeOnly(policies) {
+		// Mirror scenario.Validate: a fault-free-only scenario never uses
+		// the failure fields, so generation must not reject them either.
+		genSpec.MTBFYears, genSpec.SilentMTBFYears = 0, 0
+	}
+	// Validate per unit even when the pack comes from the memo: a point
+	// whose own spec is invalid must fail exactly as it did when every
+	// unit generated privately.
+	if err := genSpec.Validate(); err != nil {
+		return nil, err
+	}
+	tasks, err := um.packFor(ws, sp.Seed, genSpec, pt.Index, rep)
+	if err != nil {
+		return nil, err
 	}
 	online := sp.Arrivals != nil
 	var arrivals []core.Arrival
@@ -549,8 +491,13 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 		ws.out = make([]float64, len(policies)*nm)
 	}
 	out := ws.out[:len(policies)*nm]
-	var cm, cmFF *model.Compiled // the unit's compiled models, resolved lazily
-	var unitLaw failure.Law      // set by the unit's first fault-enabled policy
+	var cm, cmFF *model.Compiled         // the unit's compiled models, resolved lazily
+	var entry, entryFF *model.CacheEntry // cache references backing cm/cmFF, if any
+	defer func() {
+		entry.Release()
+		entryFF.Release()
+	}()
+	var unitLaw failure.Law // set by the unit's first fault-enabled policy
 	for qi, pol := range policies {
 		runSpec := pt.Spec
 		var src failure.Source
@@ -591,14 +538,17 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 			// a shared handle is rejected by Reset.
 		case pol.FaultFree:
 			if cmFF == nil {
-				if shared != nil {
-					cmFF = shared.compFF
+				if e, err := um.cache.Acquire(in.Tasks, in.Res, in.RC, in.P); err != nil {
+					return nil, err
+				} else if e != nil {
+					entryFF, cmFF = e, e.Compiled()
 				} else {
-					// When the unit's fault-enabled tables were already
-					// built over the same pack, the fault-free compile
-					// copies their failure-independent columns instead of
-					// recomputing them (bit-identical; see
-					// Compiled.RecompileFaultFree). With cm == nil — a
+					// No cache (disabled, or incomparable profiles): build
+					// on the private arena. When the unit's fault-enabled
+					// tables were already built over the same pack, the
+					// fault-free compile copies their failure-independent
+					// columns instead of recomputing them (bit-identical;
+					// see Compiled.RecompileFaultFree). With cm == nil — a
 					// fault-free policy ordered first — it falls back to a
 					// full Recompile.
 					if err := ws.compFF.RecompileFaultFree(cm, in.Tasks, in.Res, in.RC, in.P); err != nil {
@@ -607,11 +557,17 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 					cmFF = &ws.compFF
 				}
 			}
+			// A cache hit may carry a content-equal pack from an earlier
+			// campaign; adopting its canonical task slice keeps the
+			// engine's slice-identity check (Compiled.Matches) exact.
+			in.Tasks = cmFF.Tasks()
 			in.Compiled = cmFF
 		default:
 			if cm == nil {
-				if shared != nil {
-					cm = shared.comp
+				if e, err := um.cache.Acquire(in.Tasks, in.Res, in.RC, in.P); err != nil {
+					return nil, err
+				} else if e != nil {
+					entry, cm = e, e.Compiled()
 				} else {
 					if err := ws.comp.Recompile(in.Tasks, in.Res, in.RC, in.P); err != nil {
 						return nil, err
@@ -619,6 +575,7 @@ func (ws *workerState) runUnit(sp scenario.Spec, pt scenario.RunPoint, policies 
 					cm = &ws.comp
 				}
 			}
+			in.Tasks = cm.Tasks()
 			in.Compiled = cm
 		}
 		if err := ws.simulator.Reset(in, pol.Policy, src, core.Options{Semantics: semantics, Observer: ws.observer}); err != nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"cosched/internal/model"
 	"cosched/internal/scenario"
 	"cosched/internal/workload"
 )
@@ -279,75 +280,102 @@ func TestRunRejectsInvalidSpec(t *testing.T) {
 	}
 }
 
-// TestSharedPointModelEquivalence pins the per-grid-point compiled-model
-// sharing: a homogeneous workload (MInf == MSup, where every replicate
-// provably draws the same pack) must produce byte-identical JSONL with
-// sharing active and with the per-unit compile path forced — in both the
-// fixed and the adaptive runner, at several worker counts.
-func TestSharedPointModelEquivalence(t *testing.T) {
-	sp := testSpec()
-	sp.Workload.MInf = sp.Workload.MSup // homogeneous: sharing eligible
-
-	run := func(disable bool, workers int, adaptive bool) string {
-		s := sp
-		if adaptive {
-			s.Replicates = 0
-			s.Precision = &scenario.PrecisionSpec{
-				RelHalfWidth:  0.05,
-				MinReplicates: 2,
-				MaxReplicates: 6,
-				Batch:         2,
+// TestModelCacheEquivalence pins the compiled-model cache's whole
+// contract: with the cache enabled (a fresh injected cache, so no state
+// leaks between subtests) the campaign's JSONL must be byte-identical to
+// the cache-disabled per-unit compile path — for homogeneous and
+// heterogeneous workloads, fixed and adaptive runners, the -parallel
+// adaptive mode, and several worker counts.
+func TestModelCacheEquivalence(t *testing.T) {
+	for _, homog := range []bool{false, true} {
+		sp := testSpec()
+		if homog {
+			sp.Workload.MInf = sp.Workload.MSup
+		}
+		run := func(opt Options, adaptive bool) string {
+			s := sp
+			if adaptive {
+				s.Replicates = 0
+				s.Precision = &scenario.PrecisionSpec{
+					RelHalfWidth:  0.05,
+					MinReplicates: 2,
+					MaxReplicates: 6,
+					Batch:         2,
+				}
 			}
+			res, err := Run(s, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return jsonl(t, res)
 		}
-		defer func() { disableSharedPointModels = false }()
-		disableSharedPointModels = disable
-		res, err := Run(s, Options{Workers: workers})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return jsonl(t, res)
-	}
-
-	for _, adaptive := range []bool{false, true} {
-		want := run(true, 1, adaptive) // per-unit compiles, single worker
-		for _, workers := range []int{1, 4} {
-			if got := run(false, workers, adaptive); got != want {
-				t.Fatalf("adaptive=%v workers=%d: shared point models change results", adaptive, workers)
+		for _, adaptive := range []bool{false, true} {
+			want := run(Options{Workers: 1, NoModelCache: true}, adaptive)
+			for _, workers := range []int{1, 4} {
+				cache := model.NewCache(0)
+				if got := run(Options{Workers: workers, ModelCache: cache}, adaptive); got != want {
+					t.Fatalf("homog=%v adaptive=%v workers=%d: model cache changes results", homog, adaptive, workers)
+				}
+				if s := cache.Stats(); s.Hits == 0 {
+					t.Fatalf("homog=%v adaptive=%v workers=%d: cache never hit (stats %+v)", homog, adaptive, workers, s)
+				}
+				if adaptive {
+					if got := run(Options{Workers: workers, ModelCache: cache, Parallel: true}, true); got != want {
+						t.Fatalf("homog=%v workers=%d: -parallel with model cache changes results", homog, workers)
+					}
+				}
 			}
 		}
 	}
 }
 
-// TestHeterogeneousPointsNotShared pins the sharing guard: heterogeneous
-// points draw a fresh pack per replicate, so they must not receive a
-// shared model (stale tables would silently change every replicate
-// after the first).
-func TestHeterogeneousPointsNotShared(t *testing.T) {
+// TestModelCacheCrossPointSharing pins the cross-point collapse the
+// cache exists for: a heterogeneous sweep whose axis only moves the
+// failure rate draws one pack per replicate across the whole axis
+// (the MTBF is not a generation parameter), so the cache pays exactly
+// one full compile per replicate, rewrites each remaining fault table
+// as a λ-delta, and serves the axis-invariant fault-free table from
+// outright hits after one delta build per replicate.
+func TestModelCacheCrossPointSharing(t *testing.T) {
 	sp := testSpec()
+	sp.Axes = []scenario.Axis{
+		{Param: scenario.ParamMTBF, Values: []float64{2, 4, 8, 16}},
+	}
 	points, err := sp.Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
-	policies, err := sp.PolicySpecs()
+	for i, c := range packClasses(points) {
+		if c != 0 {
+			t.Fatalf("point %d in pack class %d, want 0 (MTBF axis keeps one pack class)", i, c)
+		}
+	}
+	cache := model.NewCache(0)
+	want, err := Run(sp, Options{Workers: 1, NoModelCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for pi, pm := range sharedPointModels(sp, points, policies) {
-		if pm != nil {
-			t.Fatalf("heterogeneous point %d received a shared model", pi)
-		}
-	}
-	sp.Workload.MInf = sp.Workload.MSup
-	points, err = sp.Expand()
+	got, err := Run(sp, Options{Workers: 4, ModelCache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for pi, pm := range sharedPointModels(sp, points, policies) {
-		if pm == nil {
-			t.Fatalf("homogeneous point %d missing its shared model", pi)
-		}
-		if pm.comp == nil || pm.compFF == nil {
-			t.Fatalf("point %d: missing compiled variant (comp=%v compFF=%v)", pi, pm.comp != nil, pm.compFF != nil)
-		}
+	if jsonl(t, got) != jsonl(t, want) {
+		t.Fatal("cached λ-sweep diverges from the per-unit compile path")
+	}
+	s := cache.Stats()
+	points4, reps := uint64(4), uint64(sp.Replicates)
+	if s.FullBuilds != reps {
+		t.Fatalf("full builds = %d, want %d (one per replicate): %+v", s.FullBuilds, reps, s)
+	}
+	// Per replicate: 4 distinct fault tables (1 full + 3 λ-deltas) and
+	// one fault-free table (1 delta) shared by all 4 points (3 hits).
+	if wantMiss := reps * (points4 + 1); s.Misses != wantMiss {
+		t.Fatalf("misses = %d, want %d: %+v", s.Misses, wantMiss, s)
+	}
+	if wantDelta := reps * points4; s.DeltaBuilds != wantDelta {
+		t.Fatalf("delta builds = %d, want %d: %+v", s.DeltaBuilds, wantDelta, s)
+	}
+	if wantHits := reps * (points4 - 1); s.Hits != wantHits {
+		t.Fatalf("hits = %d, want %d (fault-free table shared across the axis): %+v", s.Hits, wantHits, s)
 	}
 }

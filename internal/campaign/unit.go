@@ -10,18 +10,20 @@ import (
 
 // UnitRunner executes single campaign units outside the Run scheduler —
 // the execution half of the distributed worker process. It owns one
-// worker arena, the campaign's shared per-point models, and the
-// pre-loaded arrival trace, so RunUnit computes exactly the numbers the
-// in-process runner would: unit values are a pure function of (spec,
-// unit index), which is the whole byte-identity argument of distributed
-// execution. A UnitRunner is not safe for concurrent use; a process
-// that wants parallelism opens one per goroutine.
+// worker arena, the campaign's model-sharing state (pack memo and
+// compiled-model cache), and the pre-loaded arrival trace, so RunUnit
+// computes exactly the numbers the in-process runner would: unit values
+// are a pure function of (spec, unit index), which is the whole
+// byte-identity argument of distributed execution. A UnitRunner is not
+// safe for concurrent use; a process that wants parallelism opens one
+// per goroutine — the unitModels state is shared per process through
+// the global cache, which is concurrency-safe.
 type UnitRunner struct {
 	sp        scenario.Spec
 	points    []scenario.RunPoint
 	policies  []scenario.PolicySpec
 	semantics core.Semantics
-	shared    []*pointModel
+	um        *unitModels
 	trace     []workload.TraceArrival
 	ws        *workerState
 }
@@ -58,7 +60,7 @@ func NewUnitRunner(sp scenario.Spec) (*UnitRunner, error) {
 		points:    points,
 		policies:  policies,
 		semantics: semantics,
-		shared:    sharedPointModels(sp, points, policies),
+		um:        newUnitModels(points, modelCacheFor(Options{})),
 		trace:     trace,
 		ws:        getWorkerState(),
 	}, nil
@@ -81,7 +83,7 @@ func (u *UnitRunner) RunUnit(unit int) ([]float64, error) {
 		return nil, fmt.Errorf("campaign: unit %d out of range [0, %d)", unit, u.TotalUnits())
 	}
 	pi, rep := unit/u.sp.Replicates, unit%u.sp.Replicates
-	vals, err := u.ws.runUnit(u.sp, u.points[pi], u.policies, u.semantics, rep, u.shared[pi], u.trace)
+	vals, err := u.ws.runUnit(u.sp, u.points[pi], u.policies, u.semantics, rep, u.um, u.trace)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: point %d (x=%v) rep %d: %w", pi, u.points[pi].X, rep, err)
 	}

@@ -99,13 +99,37 @@ type Simulator struct {
 	// (pointer, generation) identity: a campaign unit that runs several
 	// policies over one instance computes the schedule once and the
 	// later Resets replay the exact cached values (bit-identical by
-	// construction; pinned by the golden-equivalence tests).
-	memoCM  *model.Compiled
-	memoGen uint64
-	memoN   int
-	memoSig []int
-	memoTU  []float64
+	// construction; pinned by the golden-equivalence tests). The memo
+	// holds several instances (FIFO-bounded), so a worker cycling
+	// through shared cache-resident tables — the compiled-model cache
+	// hands the same (pointer, Gen) to many units — re-derives each
+	// schedule once, not once per unit. Private per-unit arenas bump
+	// Gen on every rebuild, so for them the memo degenerates to the
+	// single live entry it always was.
+	memo     map[schedKey]*schedMemo
+	memoFIFO []schedKey
+	memoFree []*schedMemo
 }
+
+// schedKey is the initial-schedule memo key: the (pointer, Gen)
+// immutable-table identity plus the base task count (online runs reset
+// with appended rows truncated, so n is part of the instance).
+type schedKey struct {
+	cm  *model.Compiled
+	gen uint64
+	n   int
+}
+
+// schedMemo is one memoized Algorithm 1 result.
+type schedMemo struct {
+	sig []int
+	tU  []float64
+}
+
+// schedMemoMax bounds the per-simulator memo. Entries are ~2n words;
+// eviction recycles them through a free list, so a steady state that
+// misses every time (private arenas) stays allocation-free.
+const schedMemoMax = 64
 
 // bindCompiled points e.cm at valid tables for in: the caller's shared
 // model when Instance.Compiled is set (after verifying it was built for
@@ -222,9 +246,15 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 	e.have = false
 	e.acct = nil
 
-	memoHit := e.cm != nil && e.cm == e.memoCM && e.cm.Gen() == e.memoGen && e.memoN == n
+	var memoKey schedKey
+	var memoEnt *schedMemo
+	if e.cm != nil {
+		memoKey = schedKey{cm: e.cm, gen: e.cm.Gen(), n: n}
+		memoEnt = e.memo[memoKey]
+	}
+	memoHit := memoEnt != nil
 	if memoHit {
-		copy(e.sigma0[:n], e.memoSig[:n])
+		copy(e.sigma0[:n], memoEnt.sig[:n])
 	} else if err := e.initialSchedule(); err != nil {
 		return err
 	}
@@ -242,7 +272,7 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 			tlastR: 0,
 		}
 		if memoHit {
-			s.tU = e.memoTU[i]
+			s.tU = memoEnt.tU[i]
 		} else {
 			// d.evals[i] is still bound to (task i, α = 1) by the initial
 			// schedule, so this is ExpectedTime without the allocation.
@@ -251,13 +281,31 @@ func (e *Simulator) Reset(in Instance, pol Policy, src failure.Source, opt Optio
 		e.scheduleEnd(i)
 	}
 	if !memoHit && e.cm != nil {
-		e.memoCM, e.memoGen, e.memoN = e.cm, e.cm.Gen(), n
-		growInts(&e.memoSig, n)
-		copy(e.memoSig, e.sigma0[:n])
-		growFloats(&e.memoTU, n)
-		for i := range e.st {
-			e.memoTU[i] = e.st[i].tU
+		if e.memo == nil {
+			e.memo = make(map[schedKey]*schedMemo)
 		}
+		for len(e.memoFIFO) >= schedMemoMax {
+			old := e.memoFIFO[0]
+			e.memoFIFO = append(e.memoFIFO[:0], e.memoFIFO[1:]...)
+			if ent := e.memo[old]; ent != nil {
+				e.memoFree = append(e.memoFree, ent)
+			}
+			delete(e.memo, old)
+		}
+		var ent *schedMemo
+		if k := len(e.memoFree); k > 0 {
+			ent, e.memoFree = e.memoFree[k-1], e.memoFree[:k-1]
+		} else {
+			ent = &schedMemo{}
+		}
+		growInts(&ent.sig, n)
+		copy(ent.sig, e.sigma0[:n])
+		growFloats(&ent.tU, n)
+		for i := range e.st {
+			ent.tU[i] = e.st[i].tU
+		}
+		e.memo[memoKey] = ent
+		e.memoFIFO = append(e.memoFIFO, memoKey)
 	}
 	// Submit events are enqueued after the base end events, so at equal
 	// timestamps an initial end sorts before a submission (FIFO seq

@@ -197,6 +197,39 @@ func TestByteIdentityNoFaults(t *testing.T) {
 	}
 }
 
+// TestByteIdentityModelCacheToggle pins the compiled-model cache across
+// the distributed path: the same campaign run with the cache disabled
+// (COSCHED_MODEL_CACHE=off, every unit compiles privately) and enabled
+// (the default; workers share content-addressed tables) must emit the
+// same bytes — including under a scripted worker kill, where a respawned
+// worker's fresh cache re-fills from scratch mid-campaign.
+func TestByteIdentityModelCacheToggle(t *testing.T) {
+	t.Setenv("COSCHED_MODEL_CACHE", "off")
+	want := golden(t)
+	sched := chaos.Schedule{Kills: []chaos.Kill{
+		{Spawn: chaos.Any, Unit: 5, Phase: chaos.PhaseBeforeSend},
+	}}
+	for _, env := range []string{"off", ""} {
+		name := "cache-on"
+		if env != "" {
+			name = "cache-" + env
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Setenv("COSCHED_MODEL_CACHE", env)
+			res, _, spn, err := chaosRun(t, chaosOpts{workers: 2, sched: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spn.KillsFired() != 1 {
+				t.Error("scripted kill never fired")
+			}
+			if got := jsonl(t, res); got != want {
+				t.Fatal("distributed output depends on the model-cache toggle")
+			}
+		})
+	}
+}
+
 // TestByteIdentityKillEveryPhase kills a worker at every phase of a
 // unit's lifecycle — before execution, after execution but before the
 // result is sent, and after the result is on the wire — at the first,

@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // segKind selects how a compiled task's silent-error segment inflation is
@@ -51,6 +53,7 @@ type Compiled struct {
 	tau    []float64 // τ_{i,j}, checkpointing period (+Inf fault-free)
 	work   []float64 // τ_{i,j} − C_{i,j}, work per period (+Inf fault-free)
 	lj     []float64 // λ·j, task failure rate
+	expFac []float64 // e^{λj·R}, the recovery exponential of the prefactor
 	prefac []float64 // e^{λj·R}·(1/λj + D), the Eq. (4) prefactor
 	expPer []float64 // Expm1(λj·(silentSegment(τ−C) + C)), the period term
 	slj    []float64 // λ_s·j, silent-error rate
@@ -99,6 +102,7 @@ func (c *Compiled) sizeColumns(n int) {
 	c.tau = sizeF(c.tau, cells)
 	c.work = sizeF(c.work, cells)
 	c.lj = sizeF(c.lj, cells)
+	c.expFac = sizeF(c.expFac, cells)
 	c.prefac = sizeF(c.prefac, cells)
 	c.expPer = sizeF(c.expPer, cells)
 	c.slj = sizeF(c.slj, cells)
@@ -140,10 +144,50 @@ func (c *Compiled) Recompile(tasks []Task, res Resilience, rc CostModel, p int) 
 	c.sizeColumns(n)
 
 	c.extra = c.extra[:0]
-	for i, t := range tasks {
-		c.compileTask(i, t)
+	if n*c.stride >= parallelCompileCells && runtime.GOMAXPROCS(0) > 1 {
+		c.compileRowsParallel(tasks)
+	} else {
+		for i, t := range tasks {
+			c.compileTask(i, t)
+		}
 	}
 	return nil
+}
+
+// parallelCompileCells is the table size (tasks × stride cells) above
+// which Recompile splits the per-task row loop across GOMAXPROCS
+// goroutines. Rows are disjoint — compileTask writes only row i's column
+// slices plus seg[i]/data[i] — and the per-row scalar order is untouched,
+// so a parallel compile is bit-identical to a sequential one. Small
+// tables stay sequential: spawning goroutines would cost more than the
+// compile and would charge allocations to otherwise alloc-free steady
+// states. Tests may override it.
+var parallelCompileCells = 1 << 15
+
+// compileRowsParallel runs compileTask over contiguous row chunks on one
+// goroutine per processor.
+func (c *Compiled) compileRowsParallel(tasks []Task) {
+	workers := runtime.GOMAXPROCS(0)
+	n := len(tasks)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c.compileTask(i, tasks[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // RecompileFaultFree rebuilds the tables for the fault-free limit of an
@@ -262,6 +306,7 @@ func (c *Compiled) compileTask(i int, t Task) {
 	vs := c.v[lo:hi]
 	sljs := c.slj[lo:hi]
 	ljs := c.lj[lo:hi]
+	expFacs := c.expFac[lo:hi]
 	prefacs := c.prefac[lo:hi]
 	expPers := c.expPer[lo:hi]
 	inf := math.Inf(1)
@@ -302,7 +347,12 @@ func (c *Compiled) compileTask(i int, t Task) {
 		// Exp(λjR)·(1/λj + D), and the period term is Expm1 of λj
 		// times the (possibly silent-inflated) period; silentSegment's
 		// branch structure is reproduced over the precomputed V and λ_s·j.
-		prefacs[k] = math.Exp(lj*recs[k]) * (1/lj + res.Downtime)
+		// The Exp(λjR) factor is stored on its own so a downtime-only
+		// delta recompile (RecompileDelta) can rebuild the prefactor
+		// without re-evaluating the exponential: the product of the same
+		// two float64 values is the same bits either way.
+		expFacs[k] = math.Exp(lj * recs[k])
+		prefacs[k] = expFacs[k] * (1/lj + res.Downtime)
 		var segw float64
 		switch {
 		case work <= 0:
@@ -342,6 +392,7 @@ func (c *Compiled) AppendTask(t Task) (int, error) {
 	c.tau = growRow(c.tau, c.stride)
 	c.work = growRow(c.work, c.stride)
 	c.lj = growRow(c.lj, c.stride)
+	c.expFac = growRow(c.expFac, c.stride)
 	c.prefac = growRow(c.prefac, c.stride)
 	c.expPer = growRow(c.expPer, c.stride)
 	c.slj = growRow(c.slj, c.stride)
@@ -379,6 +430,7 @@ func (c *Compiled) TruncateExtra() {
 	c.tau = c.tau[:cells]
 	c.work = c.work[:cells]
 	c.lj = c.lj[:cells]
+	c.expFac = c.expFac[:cells]
 	c.prefac = c.prefac[:cells]
 	c.expPer = c.expPer[:cells]
 	c.slj = c.slj[:cells]

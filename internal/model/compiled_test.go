@@ -268,21 +268,78 @@ func BenchmarkCandidateRowSweep(b *testing.B) {
 	}
 }
 
-// BenchmarkCompile measures the one-time table build (n=100 tasks,
-// p=1000: the paper's default scale) that Reset amortizes across
-// replicates.
-func BenchmarkCompile(b *testing.B) {
-	res := defaultRes()
+// benchPack is the compile benchmarks' instance: n=100 tasks at the
+// paper's default p=1000 scale.
+func benchPack() ([]Task, Resilience) {
 	tasks := make([]Task, 100)
 	for i := range tasks {
 		tasks[i] = synthTask(1.5e6 + float64(i)*1e4)
 	}
-	var c Compiled
+	return tasks, defaultRes()
+}
+
+// BenchmarkCompileCold measures the one-time table build on a fresh
+// arena every iteration — the price of a true cache miss, columns
+// allocated and filled.
+func BenchmarkCompileCold(b *testing.B) {
+	tasks, res := benchPack()
 	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(tasks, res, CostModel{}, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileWarm measures Recompile over a reused arena — the
+// steady state of a campaign worker's private tables, zero allocations
+// after the first build.
+func BenchmarkCompileWarm(b *testing.B) {
+	tasks, res := benchPack()
+	var c Compiled
+	if err := c.Recompile(tasks, res, CostModel{}, 1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Recompile(tasks, res, CostModel{}, 1000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRecompileDelta measures the incremental rebuild against the
+// full one for the two delta classes a resilience sweep produces:
+// downtime-only (copy everything, rewrite the prefactor) and λ (copy the
+// profile columns, rebuild the failure columns). The speedup over
+// BenchmarkCompileWarm is the cache's near-miss payoff.
+func BenchmarkRecompileDelta(b *testing.B) {
+	tasks, res := benchPack()
+	base, err := Compile(tasks, res, CostModel{}, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		res  Resilience
+	}{
+		{"downtime", Resilience{Lambda: res.Lambda, Downtime: res.Downtime * 2, Rule: res.Rule}},
+		{"lambda", Resilience{Lambda: res.Lambda * 2, Downtime: res.Downtime, Rule: res.Rule}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var c Compiled
+			if delta, err := c.RecompileDelta(base, tasks, bc.res, CostModel{}, 1000); err != nil || !delta {
+				b.Fatalf("delta=%v err=%v", delta, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RecompileDelta(base, tasks, bc.res, CostModel{}, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,267 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProfilesEqual reports whether two speedup profiles are the same known
+// profile with identical parameters. Only the concrete profile types this
+// package defines compare — a custom Profile implementation returns
+// (false, false) in the second result's sense: ok is false and the
+// profiles must be treated as incomparable (a delta recompile or cache
+// hit would have to prove value equality it cannot see).
+func ProfilesEqual(a, b Profile) (equal, ok bool) {
+	av, aok := profileValue(a)
+	bv, bok := profileValue(b)
+	if !aok || !bok {
+		return false, false
+	}
+	switch pa := av.(type) {
+	case Synthetic:
+		pb, is := bv.(Synthetic)
+		return is && pa == pb, true
+	case Table:
+		pb, is := bv.(Table)
+		if !is || len(pa.Times) != len(pb.Times) {
+			return false, true
+		}
+		for i := range pa.Times {
+			if pa.Times[i] != pb.Times[i] {
+				return false, true
+			}
+		}
+		return true, true
+	}
+	return false, false
+}
+
+// profileValue normalizes the known profile types (value or pointer
+// form) to their value form; ok is false for unknown implementations.
+func profileValue(p Profile) (any, bool) {
+	switch v := p.(type) {
+	case Synthetic:
+		return v, true
+	case *Synthetic:
+		return *v, true
+	case Table:
+		return v, true
+	case *Table:
+		return *v, true
+	}
+	return nil, false
+}
+
+// TasksEqual reports whether two tasks have identical compile-relevant
+// content; ok is false when a profile is of an unknown type and content
+// equality cannot be decided.
+func TasksEqual(a, b Task) (equal, ok bool) {
+	if a.ID != b.ID || a.Data != b.Data || a.Ckpt != b.Ckpt || a.Verify != b.Verify {
+		return false, true
+	}
+	return ProfilesEqual(a.Profile, b.Profile)
+}
+
+// PacksEqual reports whether two task packs are content-identical —
+// the precondition for sharing compiled tables across packs that are not
+// the same slice. ok is false when any profile is incomparable.
+func PacksEqual(a, b []Task) (equal, ok bool) {
+	if len(a) != len(b) {
+		return false, true
+	}
+	for i := range a {
+		eq, cmp := TasksEqual(a[i], b[i])
+		if !cmp {
+			return false, false
+		}
+		if !eq {
+			return false, true
+		}
+	}
+	return true, true
+}
+
+// deltaCompatible reports whether base's profile-derived columns can seed
+// a compile of (tasks, rc, p): same platform and cost model, no appended
+// rows, and a content-identical pack.
+func deltaCompatible(base *Compiled, tasks []Task, rc CostModel, p int) bool {
+	if base == nil || len(base.tj) == 0 || len(base.extra) != 0 ||
+		base.p != p || base.rc != rc || len(tasks) == 0 {
+		return false
+	}
+	eq, ok := PacksEqual(tasks, base.tasks)
+	return ok && eq
+}
+
+// RecompileDelta rebuilds c for (tasks, res, rc, p) reusing base's
+// columns wherever the parameter change cannot reach them, and reports
+// whether the delta path was taken (false means it fell back to a full
+// Recompile). base must not be c itself; it is read-only throughout.
+//
+// The column dependence inventory (DESIGN.md §15.3): t_{i,j}, C_{i,j},
+// R_{i,j}, V_{i,j} and m_i derive from the pack alone and are always
+// copied. λ_s·j depends only on the silent rate; λj and e^{λjR} only on
+// λ; τ and τ−C on (λ, rule); the prefactor on (λ, D); the period term on
+// (λ, rule, λ_s, V); seg on (λ_s, V). Each retained column is copied
+// verbatim and each rebuilt column recomputes exactly compileTask's
+// scalar expression over the (copied) columns it reads, so the result is
+// bit-identical to a full Recompile for the new parameters — pinned by
+// TestRecompileDeltaMatchesFull.
+//
+// A fault-free target reproduces RecompileFaultFree's fill (+Inf
+// periods, zero silent rates, stale failure columns); a fault-free base
+// can still seed a failure-enabled target — its profile columns are
+// valid either way, and every failure column is rebuilt.
+func (c *Compiled) RecompileDelta(base *Compiled, tasks []Task, res Resilience, rc CostModel, p int) (bool, error) {
+	if base == c || !deltaCompatible(base, tasks, rc, p) {
+		return false, c.Recompile(tasks, res, rc, p)
+	}
+	if err := res.Validate(); err != nil {
+		return false, err
+	}
+	if p < 2 {
+		return false, fmt.Errorf("model: compiling for platform size %d (want ≥ 2)", p)
+	}
+	n := len(tasks)
+	c.gen++
+	c.tasks = tasks
+	c.res = res
+	c.rc = rc
+	c.p = p
+	c.maxJ = base.maxJ
+	c.stride = base.stride
+	c.sizeColumns(n)
+	c.extra = c.extra[:0]
+
+	// Profile-derived columns: always valid, always copied.
+	copy(c.tj, base.tj)
+	copy(c.ck, base.ck)
+	copy(c.rec, base.rec)
+	copy(c.v, base.v)
+	copy(c.data, base.data)
+
+	if res.FaultFree() {
+		// Fault-free limit: identical to RecompileFaultFree's fill. The
+		// failure columns stay stale (never read when λ = 0).
+		inf := math.Inf(1)
+		for k := range c.tau {
+			c.tau[k] = inf
+			c.work[k] = inf
+			c.slj[k] = 0 // λ_s must be 0 here (Validate: silent needs λ > 0)
+		}
+		for i, t := range tasks {
+			if t.Verify != 0 {
+				c.seg[i] = segVerify
+			} else {
+				c.seg[i] = segPlain
+			}
+		}
+		return true, nil
+	}
+
+	baseRes := base.res
+	baseFF := baseRes.FaultFree()
+	// Which failure columns survive the parameter delta. A fault-free
+	// base carries no valid failure columns at all.
+	dl := baseFF || res.Lambda != baseRes.Lambda
+	dr := dl || res.Rule != baseRes.Rule
+	ds := baseFF || res.SilentLambda != baseRes.SilentLambda
+	dPre := dl || res.Downtime != baseRes.Downtime
+	dPer := dr || ds
+
+	if !dl {
+		copy(c.lj, base.lj)
+		copy(c.expFac, base.expFac)
+	}
+	if !dr {
+		copy(c.tau, base.tau)
+		copy(c.work, base.work)
+	}
+	if !ds {
+		copy(c.slj, base.slj)
+	}
+	if !dPre {
+		copy(c.prefac, base.prefac)
+	}
+	if !dPer {
+		copy(c.expPer, base.expPer)
+	}
+
+	for i, t := range tasks {
+		// seg depends on (λ_s, V) only; recompute it unconditionally —
+		// it is n bytes against n·stride column cells.
+		switch {
+		case res.SilentActive():
+			c.seg[i] = segSilent
+		case t.Verify != 0:
+			c.seg[i] = segVerify
+		default:
+			c.seg[i] = segPlain
+		}
+		if !dl && !dr && !ds && !dPre && !dPer {
+			continue
+		}
+		sk := c.seg[i]
+		lo, hi := i*c.stride, (i+1)*c.stride
+		cks := c.ck[lo:hi]
+		recs := c.rec[lo:hi]
+		taus := c.tau[lo:hi]
+		works := c.work[lo:hi]
+		vs := c.v[lo:hi]
+		sljs := c.slj[lo:hi]
+		ljs := c.lj[lo:hi]
+		expFacs := c.expFac[lo:hi]
+		prefacs := c.prefac[lo:hi]
+		expPers := c.expPer[lo:hi]
+		for k := range cks {
+			jf := float64(2 * (k + 1))
+			if ds {
+				sljs[k] = res.SilentLambda * jf
+			}
+			if dl {
+				// compileTask's expressions over the new λ.
+				ljs[k] = res.Lambda * jf
+			}
+			lj := ljs[k]
+			if dr {
+				ck := cks[k]
+				mu := 1 / lj
+				var tau float64
+				if res.Rule == PeriodDaly {
+					if ck >= 2*mu {
+						tau = mu + ck
+					} else {
+						x := ck / (2 * mu)
+						tau = math.Sqrt(2*mu*ck) * (1 + math.Sqrt(x)/3 + x/9)
+					}
+				} else {
+					tau = math.Sqrt(2*mu*ck) + ck
+				}
+				taus[k] = tau
+				works[k] = tau - ck
+			}
+			if dl {
+				expFacs[k] = math.Exp(lj * recs[k])
+			}
+			if dPre {
+				prefacs[k] = expFacs[k] * (1/lj + res.Downtime)
+			}
+			if dPer {
+				work := works[k]
+				var segw float64
+				switch {
+				case work <= 0:
+					segw = 0
+				case sk == segPlain:
+					segw = work
+				case sk == segVerify:
+					segw = work + vs[k]
+				default:
+					segw = math.Exp(sljs[k]*work) * (work + vs[k])
+				}
+				expPers[k] = math.Expm1(lj * (segw + cks[k]))
+			}
+		}
+	}
+	return true, nil
+}

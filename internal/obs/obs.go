@@ -201,6 +201,44 @@ type Campaign struct {
 	// writer is the coordinator event loop; an in-process campaign never
 	// touches it, so the counters render as zeros there.
 	Dist DistMetrics
+
+	// Model-cache mirror gauges, written only by the campaign
+	// coordinator (SetModelCache) with the per-run counter deltas of the
+	// compiled-model cache. Like every gauge here they are single-writer
+	// atomics: with telemetry off nothing is ever written (the
+	// zero-cost-when-off contract extends to these counters — the cache
+	// itself maintains its own atomics regardless).
+	cacheHits        Gauge
+	cacheMisses      Gauge
+	cacheDeltaBuilds Gauge
+	cacheEvictions   Gauge
+	cacheBytes       Gauge
+	cacheEntries     Gauge
+}
+
+// ModelCacheStats is the obs-side view of the compiled-model cache's
+// per-run counters (the campaign layer converts from the model
+// package's stats type, keeping obs free of model dependencies).
+type ModelCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	DeltaBuilds uint64 `json:"delta_builds"`
+	Evictions   uint64 `json:"evictions"`
+	// ResidentBytes and Entries are process-level occupancy, not per-run
+	// deltas: the cache outlives individual campaigns.
+	ResidentBytes int64 `json:"resident_bytes"`
+	Entries       int64 `json:"entries"`
+}
+
+// SetModelCache mirrors the compiled-model cache counters into the
+// telemetry root. Single writer: the campaign coordinator.
+func (c *Campaign) SetModelCache(s ModelCacheStats) {
+	c.cacheHits.Set(float64(s.Hits))
+	c.cacheMisses.Set(float64(s.Misses))
+	c.cacheDeltaBuilds.Set(float64(s.DeltaBuilds))
+	c.cacheEvictions.Set(float64(s.Evictions))
+	c.cacheBytes.Set(float64(s.ResidentBytes))
+	c.cacheEntries.Set(float64(s.Entries))
 }
 
 // DistMetrics instruments the distributed coordinator: worker-process
@@ -266,21 +304,22 @@ type WorkerStat struct {
 // except the wall-clock ones (Elapsed, rates, UnitSeconds) is a
 // deterministic function of the work done.
 type Snapshot struct {
-	ElapsedSeconds float64      `json:"elapsed_s"`
-	UnitsDone      int64        `json:"units_done"`
-	UnitsPlanned   int64        `json:"units_planned"`
-	QueueDepth     int64        `json:"queue_depth"`
-	PointsPlanned  int64        `json:"points_planned"`
-	PointsStopped  uint64       `json:"points_stopped"`
-	RepsSaved      int64        `json:"reps_saved"`
-	UnitsExecuted  uint64       `json:"units_executed"` // sum of worker counters; excludes restored
-	UnitsPerSec    float64      `json:"units_per_s"`    // executed units over campaign wall-clock
-	ETASeconds     float64      `json:"eta_s"`          // -1 while no rate estimate exists
-	Workers        []WorkerStat `json:"workers"`
-	Sim            SimTotals    `json:"sim"`
-	UnitSeconds    HistSnapshot `json:"unit_seconds"`
-	RunEvents      HistSnapshot `json:"run_events"`
-	Dist           DistStats    `json:"dist"`
+	ElapsedSeconds float64         `json:"elapsed_s"`
+	UnitsDone      int64           `json:"units_done"`
+	UnitsPlanned   int64           `json:"units_planned"`
+	QueueDepth     int64           `json:"queue_depth"`
+	PointsPlanned  int64           `json:"points_planned"`
+	PointsStopped  uint64          `json:"points_stopped"`
+	RepsSaved      int64           `json:"reps_saved"`
+	UnitsExecuted  uint64          `json:"units_executed"` // sum of worker counters; excludes restored
+	UnitsPerSec    float64         `json:"units_per_s"`    // executed units over campaign wall-clock
+	ETASeconds     float64         `json:"eta_s"`          // -1 while no rate estimate exists
+	Workers        []WorkerStat    `json:"workers"`
+	Sim            SimTotals       `json:"sim"`
+	UnitSeconds    HistSnapshot    `json:"unit_seconds"`
+	RunEvents      HistSnapshot    `json:"run_events"`
+	Dist           DistStats       `json:"dist"`
+	ModelCache     ModelCacheStats `json:"model_cache"`
 }
 
 // DistStats is the snapshot view of the distributed coordinator's
@@ -321,6 +360,14 @@ func (c *Campaign) Snapshot() Snapshot {
 			Reassignments:    c.Dist.Reassignments.Value(),
 			UnitsQuarantined: c.Dist.UnitsQuarantined.Value(),
 			Heartbeats:       c.Dist.Heartbeats.Value(),
+		},
+		ModelCache: ModelCacheStats{
+			Hits:          uint64(c.cacheHits.Value()),
+			Misses:        uint64(c.cacheMisses.Value()),
+			DeltaBuilds:   uint64(c.cacheDeltaBuilds.Value()),
+			Evictions:     uint64(c.cacheEvictions.Value()),
+			ResidentBytes: int64(c.cacheBytes.Value()),
+			Entries:       int64(c.cacheEntries.Value()),
 		},
 	}
 	for w, sh := range shards {

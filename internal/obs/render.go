@@ -62,6 +62,13 @@ func writePrometheus(w io.Writer, s Snapshot) error {
 	counter("cosched_sim_redistributions_total", "Tasks whose allocation actually changed.", float64(s.Sim.Redistributions))
 	counter("cosched_sim_redist_seconds_total", "Total simulated redistribution cost paid.", s.Sim.RedistSeconds)
 
+	counter("cosched_model_cache_hits_total", "Compiled-model cache hits this campaign.", float64(s.ModelCache.Hits))
+	counter("cosched_model_cache_misses_total", "Compiled-model cache misses this campaign (compiles paid).", float64(s.ModelCache.Misses))
+	counter("cosched_model_cache_delta_builds_total", "Cache misses served by incremental delta recompiles.", float64(s.ModelCache.DeltaBuilds))
+	counter("cosched_model_cache_evictions_total", "Compiled-model cache entries evicted this campaign.", float64(s.ModelCache.Evictions))
+	gauge("cosched_model_cache_resident_bytes", "Bytes of compiled tables resident in the process cache.", float64(s.ModelCache.ResidentBytes))
+	gauge("cosched_model_cache_entries", "Compiled tables resident in the process cache.", float64(s.ModelCache.Entries))
+
 	counter("cosched_dist_workers_spawned_total", "Distributed worker processes started, including respawns.", float64(s.Dist.WorkersSpawned))
 	counter("cosched_dist_workers_lost_total", "Distributed worker deaths detected (exit, kill, pipe loss).", float64(s.Dist.WorkersLost))
 	gauge("cosched_dist_workers_live", "Currently connected distributed workers.", float64(s.Dist.WorkersLive))
@@ -120,23 +127,33 @@ type Progress struct {
 	SimRuns       uint64  `json:"sim_runs"`
 	SimEvents     uint64  `json:"sim_events"`
 	SimRedist     uint64  `json:"sim_redistributions"`
+	// Compiled-model cache one-liners; omitted while the cache is off or
+	// untouched, so pre-cache heartbeat streams stay byte-identical.
+	CacheHits      uint64 `json:"cache_hits,omitempty"`
+	CacheMisses    uint64 `json:"cache_misses,omitempty"`
+	CacheEvictions uint64 `json:"cache_evictions,omitempty"`
+	CacheBytes     int64  `json:"cache_bytes,omitempty"`
 }
 
 // Progress distills a snapshot into its heartbeat record.
 func (s Snapshot) Progress(now time.Time) Progress {
 	p := Progress{
-		T:             now.UTC().Format(time.RFC3339),
-		ElapsedSec:    s.ElapsedSeconds,
-		Done:          s.UnitsDone,
-		Planned:       s.UnitsPlanned,
-		QueueDepth:    s.QueueDepth,
-		UnitsPerSec:   s.UnitsPerSec,
-		ETASec:        s.ETASeconds,
-		PointsStopped: s.PointsStopped,
-		RepsSaved:     s.RepsSaved,
-		SimRuns:       s.Sim.Runs,
-		SimEvents:     s.Sim.Events,
-		SimRedist:     s.Sim.Redistributions,
+		T:              now.UTC().Format(time.RFC3339),
+		ElapsedSec:     s.ElapsedSeconds,
+		Done:           s.UnitsDone,
+		Planned:        s.UnitsPlanned,
+		QueueDepth:     s.QueueDepth,
+		UnitsPerSec:    s.UnitsPerSec,
+		ETASec:         s.ETASeconds,
+		PointsStopped:  s.PointsStopped,
+		RepsSaved:      s.RepsSaved,
+		SimRuns:        s.Sim.Runs,
+		SimEvents:      s.Sim.Events,
+		SimRedist:      s.Sim.Redistributions,
+		CacheHits:      s.ModelCache.Hits,
+		CacheMisses:    s.ModelCache.Misses,
+		CacheEvictions: s.ModelCache.Evictions,
+		CacheBytes:     s.ModelCache.ResidentBytes,
 	}
 	if s.UnitsPlanned > 0 {
 		p.Pct = 100 * float64(s.UnitsDone) / float64(s.UnitsPlanned)

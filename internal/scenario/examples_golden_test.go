@@ -17,6 +17,7 @@ import (
 // refused on resume. Update an entry only for a deliberate, documented
 // schema break (regenerate with COSCHED_UPDATE_GOLDEN=1).
 var exampleFingerprints = map[string]string{
+	"cache-sweep.json":    "679bb86474fb8a14",
 	"online-batch.json":   "9579b380018dec6a",
 	"online-poisson.json": "9427c5f3bb53d11f",
 }

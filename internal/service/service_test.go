@@ -38,6 +38,31 @@ func smallSpec(name string, seed uint64, reps int) scenario.Spec {
 	}
 }
 
+// resumeSpec is smallSpec's heavier sibling for the kill/restart test:
+// its units carry real event-loop cost (20 tasks, 100–150 processors,
+// one-year MTBF → fault-dense runs), so with the compiled-model cache
+// warm — where smallSpec's microsecond units would finish the whole
+// campaign inside the status-poll granularity — the window between
+// "both campaigns journaled five units" and "first campaign done"
+// stays tens of milliseconds wide.
+func resumeSpec(name string, seed uint64) scenario.Spec {
+	w := workload.Default()
+	w.N = 20
+	w.MTBFYears = 1
+	return scenario.Spec{
+		Name:       name,
+		XLabel:     "#procs",
+		Workload:   w,
+		Policies:   []string{"norc", "ig-el", "ff-el"},
+		Base:       "norc",
+		Replicates: 60,
+		Seed:       seed,
+		Axes: []scenario.Axis{
+			{Param: scenario.ParamP, Values: []float64{100, 150}},
+		},
+	}
+}
+
 // directJSONL is the reference output: the same spec run directly,
 // single worker, no daemon.
 func directJSONL(t *testing.T, sp scenario.Spec) string {
@@ -340,8 +365,8 @@ func TestSubmitRateLimit(t *testing.T) {
 // without losing a journaled unit or double-running one.
 func TestRestartResumeGolden(t *testing.T) {
 	spool := t.TempDir()
-	spA := smallSpec("resume-a", 61, 60) // 120 units each
-	spB := smallSpec("resume-b", 62, 60)
+	spA := resumeSpec("resume-a", 61) // 120 units each
+	spB := resumeSpec("resume-b", 62)
 	wantA, wantB := directJSONL(t, spA), directJSONL(t, spB)
 
 	s1, ts1 := startDaemon(t, Config{SpoolDir: spool, Workers: 2, Logf: t.Logf})
